@@ -1,0 +1,60 @@
+"""Ablation (§VI-D): the agent enclave vs. on-path remote attestation.
+
+"one remote attestation needs at least two network round trips ... The
+latency of remote attestation could harm the performance of migration if
+not hidden."  With the agent enclave the keys are escrowed ahead of time
+and the target only performs *local* attestation at resume.
+"""
+
+import pytest
+
+from benchmarks.harness import launch_shared_image_apps, print_figure
+from repro.migration.agent import AgentService, build_agent_image
+from repro.migration.orchestrator import MigrationOrchestrator
+from repro.migration.testbed import build_testbed
+from repro.workloads.apps import build_app_image
+
+
+def _restore_latency_us(use_agent: bool) -> float:
+    tb = build_testbed(seed=f"ablation-agent-{use_agent}")
+    agent_built = build_agent_image(tb.builder)
+    tb.owner.set_agent_image(agent_built)
+    built = build_app_image(tb.builder, "des", flavor=f"ag{int(use_agent)}")
+    app = launch_shared_image_apps(tb, built, 1)[0]
+    agent = AgentService(tb, agent_built) if use_agent else None
+    orch = MigrationOrchestrator(tb)
+    orch.checkpoint_enclave(app)
+    if agent is not None:
+        agent.escrow_from(app)  # happens during pre-copy, off the path
+    start = tb.clock.now_ns
+    target = orch.build_virgin_target(app)
+    if agent is not None:
+        agent.release_to(target)
+    else:
+        orch.establish_channel(app, target)
+        orch.handoff_key(app, target)
+    ckpt = app.library.last_checkpoint.envelope.to_bytes()
+    plan = orch.restore(target, ckpt)
+    target.respawn_after_restore(plan)
+    return (tb.clock.now_ns - start) / 1_000
+
+
+def run_agent_ablation() -> dict[str, float]:
+    return {
+        "remote attestation on path": _restore_latency_us(False),
+        "agent enclave (local attestation)": _restore_latency_us(True),
+    }
+
+
+@pytest.mark.benchmark(group="ablation-agent")
+def test_ablation_agent_enclave(benchmark):
+    results = benchmark.pedantic(run_agent_ablation, rounds=1, iterations=1)
+    print_figure(
+        "Ablation: target-side restore latency per enclave",
+        ["configuration", "latency (us)"],
+        [[name, round(us, 1)] for name, us in results.items()],
+    )
+    plain = results["remote attestation on path"]
+    with_agent = results["agent enclave (local attestation)"]
+    # The WAN round trips dominate the plain path; the agent removes them.
+    assert with_agent < plain / 20

@@ -1,0 +1,76 @@
+"""Ablation (§VII-B): the software protocol vs. the proposed hardware.
+
+The paper closes by proposing new instructions (EPUTKEY, EMIGRATE,
+ESWPOUT/ESWPIN, ECHANGEOUT/ECHANGEIN, EMIGRATEDONE) that would let system
+software migrate an enclave transparently.  We implemented the proposed
+ISA; this ablation compares one enclave migration both ways:
+
+* software path: two-phase checkpointing + attested channel + replayed
+  CSSA + verification (everything §III-§V builds);
+* proposed hardware path: freeze, per-page re-keying, stream MAC.
+"""
+
+import pytest
+
+from benchmarks.harness import launch_shared_image_apps, print_figure
+from repro.migration.orchestrator import MigrationOrchestrator
+from repro.migration.testbed import build_testbed
+from repro.sgx import proposed
+from repro.workloads.apps import build_app_image
+
+
+def _software_path_us() -> float:
+    tb = build_testbed(seed="ablation-hw-sw")
+    built = build_app_image(tb.builder, "cr4", flavor="hw-sw")
+    app = launch_shared_image_apps(tb, built, 1)[0]
+    orch = MigrationOrchestrator(tb)
+    start = tb.clock.now_ns
+    orch.migrate_enclave(app)
+    return (tb.clock.now_ns - start) / 1_000
+
+
+def _hardware_path_us() -> float:
+    tb = build_testbed(seed="ablation-hw-hw")
+    built = build_app_image(tb.builder, "cr4", flavor="hw-hw")
+    app = launch_shared_image_apps(tb, built, 1)[0]
+    src, tgt = tb.source.cpu, tb.target.cpu
+    start = tb.clock.now_ns
+    ce_src, ce_tgt = proposed.ControlEnclave(src), proposed.ControlEnclave(tgt)
+    keys = ce_src.negotiate_keys(ce_tgt)
+    proposed.eputkey(src, ce_src, keys)
+    proposed.eputkey(tgt, ce_tgt, keys)
+    enclave = app.library.hw()
+    proposed.emigrate(src, enclave)
+    blobs = [proposed.eswpout_secs(src, enclave)]
+    for vaddr in list(enclave.mapped_vaddrs()):
+        if enclave.page_present(vaddr):
+            blobs.append(proposed.eswpout(src, enclave, vaddr))
+    mac = proposed.finalize_stream(enclave)
+    tb.network.transfer("hw-stream", b"".join(b.ciphertext for b in blobs))
+    new_enclave = proposed.eswpin_secs(tgt, blobs[0])
+    for blob in blobs[1:]:
+        proposed.eswpin(tgt, new_enclave, blob)
+    proposed.emigratedone(tgt, new_enclave, mac)
+    return (tb.clock.now_ns - start) / 1_000
+
+
+def run_hw_ablation() -> dict[str, float]:
+    return {
+        "software protocol (this paper)": _software_path_us(),
+        "proposed hardware (§VII-B)": _hardware_path_us(),
+    }
+
+
+@pytest.mark.benchmark(group="ablation-hw")
+def test_ablation_hardware_proposal(benchmark):
+    results = benchmark.pedantic(run_hw_ablation, rounds=1, iterations=1)
+    print_figure(
+        "Ablation: one-enclave migration, software vs proposed hardware",
+        ["path", "time (us)"],
+        [[name, round(us, 1)] for name, us in results.items()],
+    )
+    software = results["software protocol (this paper)"]
+    hardware = results["proposed hardware (§VII-B)"]
+    # The hardware path skips remote attestation, channel crypto and the
+    # CSSA replay dance — transparent and much cheaper.
+    assert hardware < software / 5

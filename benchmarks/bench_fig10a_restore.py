@@ -1,0 +1,63 @@
+"""Figure 10(a): time to restore all enclaves on the target machine.
+
+Paper result: "The total time grows linearly as the number of enclaves
+increases, because the enclaves are rebuilt one by one."
+
+We use the agent-enclave path so remote-attestation latency (hidden by
+§VI-D, and not part of the paper's Fig 10(a) curve) stays off the
+restore path; what remains is the serial rebuild (ECREATE/EADD/EEXTEND/
+EINIT per page) plus in-enclave restore — the linear component.
+"""
+
+import pytest
+
+from benchmarks.harness import launch_shared_image_apps, print_figure
+from repro.migration.agent import AgentService, build_agent_image
+from repro.migration.orchestrator import MigrationOrchestrator
+from repro.migration.testbed import build_testbed
+from repro.workloads.apps import build_app_image
+
+ENCLAVE_COUNTS = (1, 2, 4, 8, 16)
+
+
+def _restore_all_us(n_enclaves: int) -> float:
+    tb = build_testbed(seed=f"fig10a-{n_enclaves}", vepc_pages=16384)
+    agent_built = build_agent_image(tb.builder)
+    tb.owner.set_agent_image(agent_built)
+    apps = []
+    for i in range(n_enclaves):
+        built = build_app_image(tb.builder, "mcrypt", flavor=f"f10a-{n_enclaves}-{i}")
+        apps.extend(launch_shared_image_apps(tb, built, 1))
+    agent = AgentService(tb, agent_built)
+    orch = MigrationOrchestrator(tb)
+    for app in apps:
+        orch.checkpoint_enclave(app)
+        agent.escrow_from(app)
+    # Measure only the target-side rebuild + restore, enclave by enclave.
+    start = tb.clock.now_ns
+    for app in apps:
+        target = orch.build_virgin_target(app)
+        agent.release_to(target)
+        ckpt = app.library.last_checkpoint.envelope.to_bytes()
+        plan = orch.restore(target, ckpt)
+        target.respawn_after_restore(plan)
+    return (tb.clock.now_ns - start) / 1_000
+
+
+def run_figure_10a() -> dict[int, float]:
+    return {n: _restore_all_us(n) for n in ENCLAVE_COUNTS}
+
+
+@pytest.mark.benchmark(group="fig10a")
+def test_fig10a_restore_time(benchmark):
+    results = benchmark.pedantic(run_figure_10a, rounds=1, iterations=1)
+    print_figure(
+        "Figure 10(a): total restore time on the target",
+        ["enclaves", "total time (us)", "per enclave (us)"],
+        [[n, round(us, 1), round(us / n, 1)] for n, us in results.items()],
+    )
+    # Linear growth: per-enclave cost is constant across the sweep.
+    per_enclave = [us / n for n, us in results.items()]
+    assert max(per_enclave) < 1.25 * min(per_enclave)
+    # 16 enclaves cost ~16x one enclave (serial rebuild).
+    assert results[16] == pytest.approx(16 * results[1], rel=0.25)

@@ -1,0 +1,51 @@
+"""Figure 11: two-phase checkpointing time vs. Memcached state size.
+
+Paper result: with four threads in the enclave and the checkpoint
+encrypted with AES-CBC over AES-NI, two-phase checkpointing time grows
+linearly with the state size (1-32 MB sweep, up to ~190 ms at 32 MB).
+
+Our pipeline runs real AES over the real slab bytes (the numpy-batched
+AES standing in for AES-NI), so both the virtual-time series and the
+actual ciphertext are genuine.
+"""
+
+import pytest
+
+from benchmarks.harness import checkpoint_durations_us, launch_shared_image_apps, print_figure
+from repro.migration.testbed import build_testbed
+from repro.workloads.memcached import build_memcached_image
+
+STATE_MB = (1, 2, 4, 8, 16, 32)
+
+
+def _checkpoint_ms(state_mb: int) -> float:
+    pages_needed = state_mb * 256 + 64
+    tb = build_testbed(
+        seed=f"fig11-{state_mb}", vepc_pages=pages_needed + 128, epc_pages=pages_needed + 512
+    )
+    built = build_memcached_image(tb.builder, state_mb=state_mb, n_workers=4)
+    app = launch_shared_image_apps(tb, built, 1)[0]
+    app.library.checkpoint_algorithm = "aes-ni"
+    app.ecall_once(0, "fill", 1)  # warm the slab: real bytes everywhere
+    tb.source_os.on_migration_notify()
+    durations = checkpoint_durations_us(tb)
+    return durations[0] / 1_000
+
+
+def run_figure_11() -> dict[int, float]:
+    return {mb: _checkpoint_ms(mb) for mb in STATE_MB}
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_memcached_checkpoint_scaling(benchmark):
+    results = benchmark.pedantic(run_figure_11, rounds=1, iterations=1)
+    print_figure(
+        "Figure 11: Memcached two-phase checkpointing time (AES-NI)",
+        ["state (MB)", "time (ms)"],
+        [[mb, round(ms, 2)] for mb, ms in results.items()],
+    )
+    # Linear scaling in the state size (the paper's straight line).
+    assert results[32] == pytest.approx(32 / 4 * results[4], rel=0.25)
+    assert results[16] == pytest.approx(2 * results[8], rel=0.25)
+    # Millisecond scale at the top end, as the paper reports.
+    assert 20 < results[32] < 1_000

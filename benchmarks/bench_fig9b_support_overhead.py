@@ -1,0 +1,51 @@
+"""Figure 9(b): overhead of migration support on real applications.
+
+Paper result: "migration support brings almost no overhead" — the extra
+per-ecall work is checking the global flag, setting the local flag and
+recording EENTER's return value.
+
+We run each §VIII-A application with the full migration-aware SDK and
+with a stripped SDK (no stubs, no flags, no CSSA bookkeeping) and report
+normalized virtual time.
+"""
+
+import pytest
+
+from benchmarks.harness import launch_shared_image_apps, print_figure
+from repro.migration.testbed import build_testbed
+from repro.workloads.apps import APP_NAMES, build_app_image
+
+RUNS = 4
+
+
+def _app_time_ns(app_name: str, migration_support: bool) -> int:
+    tb = build_testbed(seed=f"fig9b-{app_name}-{migration_support}")
+    built = build_app_image(tb.builder, app_name, flavor=f"f9b{int(migration_support)}")
+    app = launch_shared_image_apps(tb, built, 1)[0]
+    app.library.migration_support = migration_support
+    start = tb.clock.now_ns
+    for run in range(RUNS):
+        app.ecall_once(0, "process", run + 1)
+    return tb.clock.now_ns - start
+
+
+def run_figure_9b() -> dict[str, float]:
+    results = {}
+    for app_name in APP_NAMES:
+        with_support = _app_time_ns(app_name, True)
+        without = _app_time_ns(app_name, False)
+        results[app_name] = with_support / without
+    return results
+
+
+@pytest.mark.benchmark(group="fig9b")
+def test_fig9b_migration_support_overhead(benchmark):
+    results = benchmark.pedantic(run_figure_9b, rounds=1, iterations=1)
+    print_figure(
+        "Figure 9(b): normalized time with migration support (w/o = 1.0)",
+        ["application", "w/o support", "with support"],
+        [[name, 1.0, round(ratio, 4)] for name, ratio in results.items()],
+    )
+    # The paper's claim: negligible overhead across all six applications.
+    for app_name, ratio in results.items():
+        assert ratio < 1.05, f"{app_name} shows {ratio:.3f}x overhead"

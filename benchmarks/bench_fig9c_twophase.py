@@ -1,0 +1,54 @@
+"""Figure 9(c): two-phase checkpointing time vs. concurrent enclaves.
+
+Paper result: the average time is flat (~255us) while the enclaves
+(each 2 workers + 1 control thread) fit on the 4 VCPUs, and rises (~263us
+at 8 enclaves) once scheduling contention kicks in.
+
+Our enclaves dump their whole readable memory (the paper's 20 KB is its
+configured output size; ours is fixed by the image layout), so absolute
+values differ by a constant factor — EXPERIMENTS.md records both — while
+the *flat-then-rising* contention shape is the reproduced claim.
+"""
+
+import pytest
+
+from benchmarks.harness import checkpoint_durations_us, launch_shared_image_apps, print_figure
+from repro.migration.testbed import build_testbed
+from repro.sdk.host import WorkerSpec
+from repro.workloads.apps import build_app_image
+
+ENCLAVE_COUNTS = (1, 2, 4, 8)
+
+
+def _average_checkpoint_us(n_enclaves: int) -> float:
+    tb = build_testbed(seed=f"fig9c-{n_enclaves}", n_vcpus=4)
+    built = build_app_image(tb.builder, "mcrypt", flavor=f"f9c{n_enclaves}")
+    apps = launch_shared_image_apps(
+        tb, built, n_enclaves,
+        workers=[WorkerSpec("process", args=1, repeat=None, think_time_ns=300_000)] * 2,
+    )
+    for _ in range(30):
+        tb.source_os.engine.step_round()
+    tb.source_os.on_migration_notify()
+    durations = checkpoint_durations_us(tb)
+    assert len(durations) == n_enclaves
+    return sum(durations) / len(durations)
+
+
+def run_figure_9c() -> dict[int, float]:
+    return {n: _average_checkpoint_us(n) for n in ENCLAVE_COUNTS}
+
+
+@pytest.mark.benchmark(group="fig9c")
+def test_fig9c_two_phase_checkpointing(benchmark):
+    results = benchmark.pedantic(run_figure_9c, rounds=1, iterations=1)
+    print_figure(
+        "Figure 9(c): average two-phase checkpointing time",
+        ["enclaves", "avg time (us)"],
+        [[n, round(us, 1)] for n, us in results.items()],
+    )
+    # Shape: flat while enclaves fit the 4 VCPUs...
+    assert results[2] == pytest.approx(results[1], rel=0.25)
+    assert results[4] == pytest.approx(results[1], rel=0.35)
+    # ...then rising under contention (paper: 255us -> 263us).
+    assert results[8] > results[4]

@@ -1,0 +1,56 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one table/figure from the paper's §VIII.
+pytest-benchmark measures the *wall-clock* cost of running the simulation;
+the *results* the paper plots are virtual-time metrics, printed as a small
+table per figure and summarized in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.migration.testbed import Testbed, build_testbed
+from repro.sdk.host import HostApplication, WorkerSpec
+
+
+def print_figure(title: str, header: list[str], rows: list[list]) -> None:
+    """Print one figure's series the way the paper reports it."""
+    print()
+    print(f"=== {title} ===")
+    widths = [max(len(str(x)) for x in [h] + [r[i] for r in rows]) for i, h in enumerate(header)]
+    print("  " + " | ".join(h.ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  " + " | ".join(str(x).ljust(w) for x, w in zip(row, widths)))
+
+
+def launch_shared_image_apps(
+    tb: Testbed,
+    built,
+    n: int,
+    workers: list[WorkerSpec] | None = None,
+    provision: bool = True,
+) -> list[HostApplication]:
+    """Launch ``n`` enclave apps from one image on the source machine."""
+    tb.owner.register_image(built)
+    apps = []
+    for i in range(n):
+        app = HostApplication(
+            tb.source,
+            tb.source_os,
+            built.image,
+            workers=list(workers or []),
+            owner=tb.owner if provision else None,
+            name=f"{built.image.name}-{i}",
+        )
+        app.launch()
+        apps.append(app)
+    return apps
+
+
+def checkpoint_durations_us(tb: Testbed) -> list[float]:
+    """Per-enclave two-phase checkpointing times from the trace."""
+    starts = {e.payload["enclave"]: e.t_ns for e in tb.trace.select("ckpt", "start")}
+    durations = []
+    for event in tb.trace.select("ckpt", "done"):
+        enclave = event.payload["enclave"]
+        durations.append((event.t_ns - starts[enclave]) / 1_000)
+    return durations

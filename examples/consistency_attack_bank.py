@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""The §IV-A data-consistency attack on a bank enclave (Figure 3).
+
+A bank enclave moves money between two accounts that live on different
+pages; the invariant is A + B == 5000.  The guest OS is *malicious*: when
+asked to stop the worker threads it says "OK" and keeps scheduling them.
+
+Two checkpointers face that OS:
+
+* a naive one that trusts ``stop_other_threads()`` — it dumps account A,
+  the unstopped worker keeps transferring, then it dumps account B:
+  the checkpoint contains money that never existed;
+* the paper's two-phase checkpointer, which only believes the in-enclave
+  flags and waits for a real quiescent point.
+
+Run:  python examples/consistency_attack_bank.py
+"""
+
+from repro.attacks.consistency import run_consistency_scenario
+
+
+def main() -> None:
+    print("== naive checkpointer vs. lying scheduler ==")
+    naive = run_consistency_scenario("naive", malicious_scheduler=True)
+    print(f"   invariant A+B in restored enclave: {naive.restored_sum} "
+          f"(should be {naive.expected_sum})")
+    print(f"   consistent? {naive.consistent}  -> the attack of Figure 3 landed")
+    assert not naive.consistent
+
+    print()
+    print("== two-phase checkpointer vs. the same lying scheduler ==")
+    two_phase = run_consistency_scenario("two-phase", malicious_scheduler=True)
+    print(f"   invariant A+B after migration + resumed in-flight transfer: "
+          f"{two_phase.restored_sum}")
+    print(f"   consistent? {two_phase.consistent}")
+    assert two_phase.consistent
+
+    print()
+    print("Takeaway: quiescence must be proven inside the enclave (global +")
+    print("local flags), never taken on the untrusted OS's word — §IV-B.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""The paper's §VII-B hardware wishlist, running.
+
+The paper closes with suggestions to Intel: a control enclave that
+negotiates migration keys (EPUTKEY), an EMIGRATE freeze, per-page
+re-keying (ESWPOUT/ECHANGEOUT → ESWPIN/ECHANGEIN), and a final
+EMIGRATEDONE integrity check — making enclave migration *transparent* to
+the enclave: no control thread, no two-phase checkpointing, no CSSA
+replay, because the hardware can move what software cannot read.
+
+This example migrates an enclave with a thread parked mid-execution
+(CSSA = 1) purely with the proposed instructions, then resumes it on the
+target with a single ERESUME.
+
+Run:  python examples/proposed_hardware.py
+"""
+
+from repro import build_testbed
+from repro.sdk import AtomicEntry, EnclaveProgram, HostApplication
+from repro.sgx import instructions as isa
+from repro.sgx import proposed
+
+
+def main() -> None:
+    tb = build_testbed(seed=606)
+    program = EnclaveProgram("examples/hw-migration-v1")
+    program.add_entry(
+        "poke", AtomicEntry(lambda rt, args: rt.store_global("value", int(args)) or int(args))
+    )
+    built = tb.builder.build("hw-demo", program, n_workers=1, global_names=("value",))
+    tb.owner.register_image(built)
+    app = HostApplication(tb.source, tb.source_os, built.image, [], owner=tb.owner).launch()
+    app.ecall_once(0, "poke", 4242)
+
+    # Park a thread mid-flight the hardware way: AEX leaves CSSA = 1.
+    worker = built.image.worker_tcs(0)
+    session = isa.eenter(tb.source.cpu, app.library.hw(), worker.vaddr)
+    isa.aex(session, {"kind": "work", "entry": "poke", "regs": {"note": "interrupted"}})
+
+    print("== control enclaves negotiate migration keys (EPUTKEY) ==")
+    ce_src = proposed.ControlEnclave(tb.source.cpu)
+    ce_tgt = proposed.ControlEnclave(tb.target.cpu)
+    keys = ce_src.negotiate_keys(ce_tgt)
+    proposed.eputkey(tb.source.cpu, ce_src, keys)
+    proposed.eputkey(tb.target.cpu, ce_tgt, keys)
+
+    print("== EMIGRATE freezes the source; ESWPOUT drains every page ==")
+    enclave = app.library.hw()
+    proposed.emigrate(tb.source.cpu, enclave)
+    blobs = [proposed.eswpout_secs(tb.source.cpu, enclave)]
+    for vaddr in list(enclave.mapped_vaddrs()):
+        if enclave.page_present(vaddr):
+            blobs.append(proposed.eswpout(tb.source.cpu, enclave, vaddr))
+    stream_mac = proposed.finalize_stream(enclave)
+    print(f"   {len(blobs)} pages re-keyed (SECS and TCS included — even CSSA travels)")
+
+    print("== ESWPIN rebuilds on the target; EMIGRATEDONE verifies ==")
+    new_enclave = proposed.eswpin_secs(tb.target.cpu, blobs[0])
+    for blob in blobs[1:]:
+        proposed.eswpin(tb.target.cpu, new_enclave, blob)
+    proposed.emigratedone(tb.target.cpu, new_enclave, stream_mac)
+    print(f"   measurement preserved: {new_enclave.secs.mrenclave == enclave.secs.mrenclave}")
+
+    print("== the parked thread resumes on the target with plain ERESUME ==")
+    resumed, ctx = isa.eresume(tb.target.cpu, new_enclave, worker.vaddr)
+    value_slot = built.image.layout.global_slot("value")
+    import struct
+    value = struct.unpack("<Q", resumed.read(value_slot, 8))[0]
+    print(f"   restored context: {ctx['regs']}")
+    print(f"   enclave state intact: value = {value}")
+    isa.eexit(resumed)
+
+    try:
+        isa.eenter(tb.source.cpu, enclave, worker.vaddr)
+        raise AssertionError("frozen source ran!")
+    except Exception as error:
+        print(f"   frozen source refuses to run: {type(error).__name__}")
+
+    print()
+    print("Takeaway: with the §VII-B instructions the entire §III-§V software")
+    print("protocol collapses into a hardware-verified page stream.")
+
+
+if __name__ == "__main__":
+    main()

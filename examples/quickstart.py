@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Quickstart: build an enclave, run it, and live-migrate it.
+
+This walks the whole stack once:
+
+1. build a two-machine testbed (SGX CPUs, hypervisors, guest VMs, IAS);
+2. write a tiny enclave program and build a signed image with the SDK
+   (which silently injects the control thread and migration stubs);
+3. launch it — the owner attests the enclave and provisions its secrets;
+4. run some ecalls, including a long-running one that gets interrupted;
+5. migrate the enclave to the target machine mid-flight;
+6. watch the interrupted work resume exactly where it left off, and the
+   source enclave refuse to ever run again (self-destroy).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import MigrationOrchestrator, build_testbed
+from repro.sdk import AtomicEntry, EnclaveProgram, HostApplication, ResumableEntry, WorkerSpec
+
+
+def build_program() -> EnclaveProgram:
+    """A counter service: one fast entry, one slow (interruptible) one."""
+    program = EnclaveProgram("examples/quickstart-counter-v1")
+
+    def incr(rt, args):
+        value = rt.load_global("counter") + int(1 if args is None else args)
+        rt.store_global("counter", value)
+        return value
+
+    program.add_entry("incr", AtomicEntry(incr))
+
+    def prepare(rt, args):
+        return {"remaining": int(args)}
+
+    def step(rt, regs):
+        if regs["remaining"] > 0:
+            rt.store_global("counter", rt.load_global("counter") + 1)
+            regs["remaining"] -= 1
+            regs["__pc"] -= 1  # stay on this step until drained
+        else:
+            regs["result"] = rt.load_global("counter")
+
+    program.add_entry(
+        "slow_count", ResumableEntry(prepare=prepare, steps=(step, lambda rt, regs: None))
+    )
+    return program
+
+
+def main() -> None:
+    print("== building the two-machine testbed ==")
+    tb = build_testbed(seed=2024)
+
+    print("== building and signing the enclave image ==")
+    built = tb.builder.build(
+        "quickstart", build_program(), n_workers=2, global_names=("counter",)
+    )
+    tb.owner.register_image(built)
+    print(f"   MRENCLAVE = {built.image.mrenclave.hex()[:32]}…")
+
+    print("== launching on the source machine (owner attests + provisions) ==")
+    app = HostApplication(
+        tb.source,
+        tb.source_os,
+        built.image,
+        workers=[
+            WorkerSpec("incr", args=1, repeat=10),
+            WorkerSpec("slow_count", args=800, repeat=1),  # long-running
+        ],
+        owner=tb.owner,
+    ).launch()
+
+    for _ in range(80):
+        tb.source_os.engine.step_round()
+    before = app.ecall_once(0, "incr", 0)
+    print(f"   counter before migration: {before}")
+
+    print("== live-migrating the enclave ==")
+    result = MigrationOrchestrator(tb).migrate_enclave(app)
+    parked = {idx: cssa for idx, cssa in result.replay_plan.items()}
+    print(f"   checkpoint size: {result.checkpoint_bytes} bytes")
+    print(f"   threads parked mid-flight (TCS -> CSSA): {parked}")
+
+    target = result.target_app
+    print("== resuming on the target ==")
+    for _ in range(30_000):
+        if not target.process.live_threads():
+            break
+        tb.target_os.engine.step_round()
+    after = target.ecall_once(0, "incr", 0)
+    print(f"   counter after migration:  {after}  (10 incr + 800 slow counts)")
+
+    print("== source is self-destroyed: new ecalls spin forever ==")
+    zombie = tb.source_os.spawn_thread(
+        app.process, "zombie", app.library.ecall_body(0, "incr", 1)
+    )
+    for _ in range(300):
+        tb.source_os.engine.step_round()
+    print(f"   source ecall completed? {zombie.finished}  (expected: False)")
+    print(f"== done — virtual time elapsed: {tb.clock.now_ms:.1f} ms ==")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Owner-audited checkpoint/resume and the rollback attack (§V-C).
+
+A password server locks after three failed attempts.  This example shows:
+
+* migration cannot roll the counter back (state continuity, P-4);
+* owner-keyed snapshots support legitimate suspend/resume;
+* a brute-forcing operator abusing resume leaves an audit trail and the
+  owner's rollback detector flags the repeats.
+
+Run:  python examples/snapshot_audit.py
+"""
+
+from repro import SnapshotManager, build_testbed
+from repro.attacks.rollback import launch_authserver as _launch_authserver
+from repro.attacks.rollback import run_rollback_scenario
+
+
+def main() -> None:
+    print("== legitimate snapshot / resume ==")
+    tb = build_testbed(seed=99)
+    app = _launch_authserver(tb)
+    app.ecall_once(0, "try_password", {"password": "wrong-once"})
+    manager = SnapshotManager(tb, tb.owner)
+    snap = manager.snapshot(app, reason="planned host maintenance")
+    print(f"   snapshot taken: sequence {snap.sequence}, {snap.size} bytes (sealed)")
+    resumed = manager.resume(snap, app, reason="maintenance finished")
+    status = resumed.ecall_once(0, "status")
+    print(f"   resumed instance remembers the failed attempt: {status}")
+    print(f"   owner audit log: "
+          + "; ".join(f"{e.operation}({e.reason.split(' (')[0]})" for e in tb.owner.audit_log))
+
+    print()
+    print("== rollback attack via migration: blocked ==")
+    migration = run_rollback_scenario("migration")
+    print(f"   attempts before lock: {migration.attempts_made}, "
+          f"still locked after migration: {migration.locked_after}")
+
+    print()
+    print("== rollback attack via snapshots: audited ==")
+    abuse = run_rollback_scenario("snapshot")
+    print(f"   extra guesses the operator bought: {abuse.extra_attempts_via_snapshots}")
+    print(f"   resumes the owner logged:          {abuse.resumes_logged}")
+    print(f"   flagged as suspicious rollbacks:   {abuse.flagged_rollbacks}")
+    assert abuse.flagged_rollbacks >= 1
+
+    print()
+    print("Takeaway: migration preserves state continuity with no owner in the")
+    print("loop; checkpoint/resume trades that for auditability — §V-C.")
+
+
+if __name__ == "__main__":
+    main()

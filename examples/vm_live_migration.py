@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Whole-VM live migration with enclaves inside (§VI-D, Figure 8).
+
+Migrates a 2 GB / 4-VCPU guest three ways and prints the indicators the
+paper's Figure 10 reports:
+
+* baseline: the same VM with no enclaves;
+* with enclaves, plain protocol: remote attestation sits on the restore
+  path (one IAS round trip per enclave);
+* with enclaves + agent enclave (§VI-D): keys were escrowed during
+  pre-copy, so restore only needs cheap local attestation.
+
+Run:  python examples/vm_live_migration.py
+"""
+
+from repro import build_testbed
+from repro.migration.agent import AgentService, build_agent_image
+from repro.migration.vm import VmMigrationManager, migrate_plain_vm
+from repro.sdk import HostApplication, WorkerSpec
+from repro.workloads.apps import build_app_image
+
+N_ENCLAVES = 8
+
+
+def launch_enclaves(tb, n, flavor):
+    apps = []
+    for i in range(n):
+        built = build_app_image(tb.builder, "cr4", flavor=f"{flavor}{i}")
+        tb.owner.register_image(built)
+        apps.append(
+            HostApplication(
+                tb.source,
+                tb.source_os,
+                built.image,
+                workers=[WorkerSpec("process", args=i + 1, repeat=None)],
+                owner=tb.owner,
+            ).launch()
+        )
+    for _ in range(50):
+        tb.source_os.engine.step_round()
+    return apps
+
+
+def main() -> None:
+    print(f"== baseline: VM without enclaves ==")
+    tb = build_testbed(seed=77)
+    base = migrate_plain_vm(tb)
+    print(f"   total {base.total_ms:9.0f} ms | downtime {base.downtime_ms:6.2f} ms | "
+          f"transferred {base.transferred_mb:7.1f} MB | rounds {base.precopy_rounds}")
+
+    print(f"== VM with {N_ENCLAVES} enclaves (plain protocol) ==")
+    tb2 = build_testbed(seed=77)
+    apps = launch_enclaves(tb2, N_ENCLAVES, "plain")
+    plain = VmMigrationManager(tb2, apps).migrate()
+    print(f"   total {plain.total_ms:9.0f} ms | downtime {plain.downtime_ms:6.2f} ms | "
+          f"transferred {plain.transferred_mb:7.1f} MB | "
+          f"checkpointing {plain.prep_ms:.2f} ms | restore {plain.restore_ms:.2f} ms")
+
+    print(f"== VM with {N_ENCLAVES} enclaves + agent enclave ==")
+    tb3 = build_testbed(seed=77)
+    agent_built = build_agent_image(tb3.builder)
+    tb3.owner.set_agent_image(agent_built)
+    apps3 = launch_enclaves(tb3, N_ENCLAVES, "agent")
+    agent = AgentService(tb3, agent_built)
+    fast = VmMigrationManager(tb3, apps3).migrate(agent=agent)
+    print(f"   total {fast.total_ms:9.0f} ms | downtime {fast.downtime_ms:6.2f} ms | "
+          f"transferred {fast.transferred_mb:7.1f} MB | "
+          f"checkpointing {fast.prep_ms:.2f} ms | restore {fast.restore_ms:.2f} ms")
+
+    print()
+    overhead = 100.0 * (plain.total_ms - base.total_ms) / base.total_ms
+    print(f"Total-time overhead from enclaves: {overhead:.1f}% "
+          f"(the paper reports ~2% at 32 enclaves, ~5% at 64)")
+    print(f"Downtime growth: {plain.downtime_ms - base.downtime_ms:+.2f} ms "
+          f"(the paper reports ~+3 ms at 64 enclaves)")
+    speedup = plain.restore_ms / max(fast.restore_ms, 1e-9)
+    print(f"Agent enclave cuts restore latency {speedup:.0f}x "
+          f"(remote attestation moved off the critical path)")
+
+
+if __name__ == "__main__":
+    main()

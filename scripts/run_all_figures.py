@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Regenerate every figure of the paper's §VIII without pytest.
+
+Prints the same series the benchmark suite produces, one figure after
+another, with paper-reported values alongside where the paper states
+them.  Useful for a quick eyeball; `pytest benchmarks/ --benchmark-only
+-s` additionally asserts every shape.
+"""
+
+import sys
+
+sys.path.insert(0, "benchmarks")
+
+from bench_fig9a_nbench import run_figure_9a
+from bench_fig9b_support_overhead import run_figure_9b
+from bench_fig9c_twophase import run_figure_9c
+from bench_fig9d_dump_all import run_figure_9d
+from bench_fig10a_restore import run_figure_10a
+from bench_fig10bcd_vm_migration import ENCLAVE_COUNTS, run_sweep
+from bench_fig11_memcached import run_figure_11
+from bench_ablation_ciphers import run_cipher_ablation
+from bench_ablation_agent import run_agent_ablation
+from bench_ablation_hw_proposal import run_hw_ablation
+from harness import print_figure
+
+
+def main() -> None:
+    print_figure(
+        "Figure 9(a): nbench normalized time (native = 1.0)",
+        ["kernel", "intel-sdk", "our-sdk"],
+        [[k, round(v["intel"], 2), round(v["ours"], 2)] for k, v in run_figure_9a().items()],
+    )
+    print_figure(
+        "Figure 9(b): migration support overhead (w/o = 1.0)",
+        ["application", "with support"],
+        [[k, round(v, 4)] for k, v in run_figure_9b().items()],
+    )
+    print_figure(
+        "Figure 9(c): avg two-phase checkpointing (paper: 255us flat, 263us @ 8)",
+        ["enclaves", "us"],
+        [[n, round(v, 1)] for n, v in run_figure_9c().items()],
+    )
+    print_figure(
+        "Figure 9(d): total dumping time (paper: <=940us @ 8, ~1.7ms @ 16)",
+        ["enclaves", "us"],
+        [[n, round(v, 1)] for n, v in run_figure_9d().items()],
+    )
+    print_figure(
+        "Figure 10(a): restore time (paper: linear, ~175us/enclave)",
+        ["enclaves", "us"],
+        [[n, round(v, 1)] for n, v in run_figure_10a().items()],
+    )
+    sweep = run_sweep()
+    base = sweep["baseline"]
+    print_figure(
+        "Figure 10(b)/(c)/(d): VM migration (paper: ~2-5% overhead, +3ms downtime)",
+        ["config", "total ms", "downtime ms", "transfer MB"],
+        [["baseline", round(base.total_ms, 1), round(base.downtime_ms, 2), round(base.transferred_mb, 1)]]
+        + [
+            [
+                f"{n} enclaves",
+                round(sweep[n].report.total_ms, 1),
+                round(sweep[n].report.downtime_ms, 2),
+                round(sweep[n].report.transferred_mb, 1),
+            ]
+            for n in ENCLAVE_COUNTS
+        ],
+    )
+    print_figure(
+        "Figure 11: Memcached checkpoint time (paper: linear, ~190ms @ 32MB)",
+        ["state MB", "ms"],
+        [[mb, round(ms, 2)] for mb, ms in run_figure_11().items()],
+    )
+    print_figure(
+        "Ablation: ciphers (paper: DES ~1.5x RC4)",
+        ["cipher", "us"],
+        [[k, round(v, 1)] for k, v in run_cipher_ablation().items()],
+    )
+    print_figure(
+        "Ablation: agent enclave (§VI-D)",
+        ["path", "us"],
+        [[k, round(v, 1)] for k, v in run_agent_ablation().items()],
+    )
+    print_figure(
+        "Ablation: proposed hardware (§VII-B)",
+        ["path", "us"],
+        [[k, round(v, 1)] for k, v in run_hw_ablation().items()],
+    )
+
+
+if __name__ == "__main__":
+    main()

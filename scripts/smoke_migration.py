@@ -1,0 +1,83 @@
+"""End-to-end smoke test: migrate one enclave app source -> target."""
+from repro.migration.testbed import build_testbed
+from repro.migration.orchestrator import MigrationOrchestrator
+from repro.sdk.host import HostApplication, WorkerSpec
+from repro.sdk.program import AtomicEntry, EnclaveProgram, ResumableEntry
+
+
+def build_counter_program():
+    program = EnclaveProgram("smoke/counter-v1")
+
+    def incr(rt, args):
+        value = rt.load_global("counter") + int(1 if args is None else args)
+        rt.store_global("counter", value)
+        return value
+
+    program.add_entry("incr", AtomicEntry(incr))
+
+    def prepare(rt, args):
+        return {"remaining": int(args), "done": 0}
+
+    def step(rt, regs):
+        if regs["remaining"] > 0:
+            rt.store_global("counter", rt.load_global("counter") + 1)
+            regs["remaining"] -= 1
+            regs["__pc"] -= 1  # loop on this step until drained
+        else:
+            regs["result"] = rt.load_global("counter")
+
+    program.add_entry("slow_incr", ResumableEntry(prepare=prepare, steps=(step, lambda rt, regs: None)))
+    return program
+
+
+def main():
+    tb = build_testbed(seed=42)
+    program = build_counter_program()
+    built = tb.builder.build("counter", program, n_workers=2, global_names=("counter",))
+    tb.owner.register_image(built)
+
+    app = HostApplication(
+        tb.source, tb.source_os, built.image,
+        workers=[
+            WorkerSpec("incr", args=1, repeat=5),
+            WorkerSpec("slow_incr", args=500, repeat=1),  # long-running: will be parked mid-flight
+        ],
+        owner=tb.owner,
+    ).launch()
+
+    # Let the workers make some progress, then checkpoint mid-flight.
+    for _ in range(60):
+        tb.source_os.engine.step_round()
+    counter_before = app.ecall_once(0, "incr", 0)
+    print("counter before migration:", counter_before)
+
+    orch = MigrationOrchestrator(tb)
+    result = orch.migrate_enclave(app)
+    print("replay plan:", result.replay_plan)
+    print("checkpoint bytes:", result.checkpoint_bytes)
+
+    tgt = result.target_app
+    # Let the resumed slow worker finish on the target.
+    tb.target_os.run_until(
+        lambda: all(t.finished for t in tgt.process.live_threads()) or False,
+        max_rounds=20000,
+    )
+    counter_after = tgt.ecall_once(0, "incr", 0)
+    print("counter after migration :", counter_after)
+    assert counter_after >= counter_before, "state went backwards!"
+    # The slow worker should have completed all 500 increments in total.
+    print("slow_incr results:", tgt.results.get("slow_incr"), app.results.get("slow_incr"))
+
+    # Source must be self-destroyed: a fresh ecall spins forever.
+    spin_thread = tb.source_os.spawn_thread(
+        app.process, "post-destroy", app.library.ecall_body(0, "incr", 1)
+    )
+    for _ in range(200):
+        tb.source_os.engine.step_round()
+    assert not spin_thread.finished, "source enclave ran after self-destroy!"
+    print("source stays dead after self-destroy: ok")
+    print("virtual time: %.2f ms" % tb.clock.now_ms)
+
+
+if __name__ == "__main__":
+    main()

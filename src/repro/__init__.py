@@ -1,0 +1,83 @@
+"""repro — Secure Live Migration of SGX Enclaves on Untrusted Cloud.
+
+A full-system reproduction of Gu et al., DSN 2017, on a simulated SGX
+platform.  The package layers:
+
+* :mod:`repro.sim`        — virtual clock, cost model, VCPU scheduler.
+* :mod:`repro.crypto`     — RC4 / DES / AES / DH / RSA, from scratch.
+* :mod:`repro.sgx`        — the SGX v1 hardware model (EPC, MEE,
+  instructions, attestation) plus the paper's §VII-B proposed extensions.
+* :mod:`repro.hypervisor` — KVM-model hypervisor and QEMU-model pre-copy.
+* :mod:`repro.guestos`    — the untrusted guest OS and SGX driver.
+* :mod:`repro.sdk`        — the enclave SDK: builder, runtime, control
+  thread, untrusted SGX library, enclave owner.
+* :mod:`repro.migration`  — the paper's contribution: secure enclave and
+  VM live migration, agent enclave, owner-keyed snapshots.
+* :mod:`repro.attacks`    — executable adversaries (consistency, fork,
+  rollback, replay, tamper).
+* :mod:`repro.workloads`  — nbench kernels, crypto apps, bank, mail
+  server, auth server, memcached.
+
+Quickstart::
+
+    from repro import build_testbed, MigrationOrchestrator
+    from repro.sdk import EnclaveProgram, AtomicEntry, HostApplication, WorkerSpec
+
+    tb = build_testbed(seed=1)
+    program = EnclaveProgram("hello-v1")
+    program.add_entry("greet", AtomicEntry(lambda rt, args: f"hello {args}"))
+    built = tb.builder.build("hello", program)
+    tb.owner.register_image(built)
+    app = HostApplication(tb.source, tb.source_os, built.image,
+                          workers=[WorkerSpec("greet", args="world")],
+                          owner=tb.owner).launch()
+    result = MigrationOrchestrator(tb).migrate_enclave(app)
+"""
+
+from repro.errors import (
+    AttestationError,
+    ChannelError,
+    ConsistencyViolation,
+    CssaMismatch,
+    IntegrityError,
+    MigrationAborted,
+    MigrationError,
+    ReproError,
+    RestoreError,
+    SelfDestroyed,
+    SgxAccessFault,
+    SgxError,
+    SgxMacMismatch,
+)
+from repro.machine import Machine
+from repro.migration.orchestrator import EnclaveMigrationResult, MigrationOrchestrator
+from repro.migration.snapshot import SnapshotManager
+from repro.migration.testbed import Testbed, build_testbed
+from repro.migration.vm import VmMigrationManager, migrate_plain_vm
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttestationError",
+    "ChannelError",
+    "ConsistencyViolation",
+    "CssaMismatch",
+    "EnclaveMigrationResult",
+    "IntegrityError",
+    "Machine",
+    "MigrationAborted",
+    "MigrationError",
+    "MigrationOrchestrator",
+    "ReproError",
+    "RestoreError",
+    "SelfDestroyed",
+    "SgxAccessFault",
+    "SgxError",
+    "SgxMacMismatch",
+    "SnapshotManager",
+    "Testbed",
+    "VmMigrationManager",
+    "build_testbed",
+    "migrate_plain_vm",
+    "__version__",
+]

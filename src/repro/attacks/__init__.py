@@ -1,0 +1,30 @@
+"""Adversary playbook.
+
+Executable implementations of every attack the paper defends against,
+used by the security test suite and the examples:
+
+* :mod:`repro.attacks.consistency` — §IV-A data-consistency attack by a
+  lying guest scheduler, against a naive checkpointer and the two-phase
+  scheme.
+* :mod:`repro.attacks.fork`        — §V-A fork attack on the mail server.
+* :mod:`repro.attacks.rollback`    — §V-A rollback / brute-force attack
+  on the password server.
+* :mod:`repro.attacks.replay`      — network replay of stale protocol
+  messages and checkpoints.
+* :mod:`repro.attacks.tamper`      — checkpoint bit-flips and truncation
+  on the wire.
+"""
+
+from repro.attacks.consistency import run_consistency_scenario
+from repro.attacks.fork import run_fork_scenario
+from repro.attacks.replay import run_replay_scenario
+from repro.attacks.rollback import run_rollback_scenario
+from repro.attacks.tamper import run_tamper_scenario
+
+__all__ = [
+    "run_consistency_scenario",
+    "run_fork_scenario",
+    "run_replay_scenario",
+    "run_rollback_scenario",
+    "run_tamper_scenario",
+]

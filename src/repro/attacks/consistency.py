@@ -1,0 +1,167 @@
+"""The §IV-A data-consistency attack (Figure 3), executable.
+
+Scenario: a bank enclave's worker thread is mid-transfer between two
+accounts on different pages.  The checkpointer must not capture a state
+where the debit is visible but the credit is not *and the continuation
+is lost*.
+
+Two checkpointers face the same malicious scheduler:
+
+* the **naive** one calls ``stop_other_threads()`` and believes the OS's
+  "OK" — Figure 3's victim;
+* the paper's **two-phase** one trusts only the in-enclave flags.
+
+``run_consistency_scenario`` returns the restored-state invariant sum
+for the chosen checkpointer so tests can assert exactly who breaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.crypto.keys import SymmetricKey
+from repro.migration.checkpoint import EnclaveCheckpoint, TcsState, open_checkpoint, seal_checkpoint
+from repro.migration.orchestrator import MigrationOrchestrator
+from repro.migration.testbed import Testbed, build_testbed
+from repro.sdk.host import HostApplication, WorkerSpec
+from repro.sdk.image import FLAG_FREE
+from repro.sgx import instructions as isa
+from repro.sgx.structures import PAGE_SIZE, Permissions
+from repro.workloads.bank import TOTAL, build_bank_image
+
+
+@dataclass
+class ConsistencyOutcome:
+    """What the restored enclave looked like after the dust settled."""
+
+    restored_sum: int
+    expected_sum: int
+    scheduler_honest: bool
+    checkpointer: str
+
+    @property
+    def consistent(self) -> bool:
+        return self.restored_sum == self.expected_sum
+
+
+def _setup(tb: Testbed) -> HostApplication:
+    built = build_bank_image(tb.builder)
+    tb.owner.register_image(built)
+    app = HostApplication(
+        tb.source,
+        tb.source_os,
+        built.image,
+        workers=[WorkerSpec("transfer", args={"rounds": 600, "amount": 1}, repeat=1)],
+        owner=tb.owner,
+    ).launch()
+    app.ecall_once(1, "init")
+    # Let the transfer loop get going.
+    for _ in range(40):
+        tb.source_os.engine.step_round()
+    return app
+
+
+def _naive_checkpoint_body(app: HostApplication, out: dict) -> Iterator[int]:
+    """Figure 3's victim: trust the OS, then dump page by page.
+
+    Every page read is a separate scheduling step, so an unstopped worker
+    interleaves real transfers *between* the reads — exactly the torn
+    read of account A (old) and account B (new).
+    """
+    library = app.library
+    thread = out["self"]
+    library.guest_os.scheduler.stop_other_threads(app.process, thread)
+    yield 2_000
+    template = app.image.control_tcs
+    session = isa.eenter(library.cpu, library.hw(), template.vaddr, aep=library)
+    rt = library._runtime(session)
+    rt.control_entry_stub(template.index)
+    pages: dict[int, bytes] = {}
+    for vaddr in app.image.readable_reg_vaddrs():
+        pages[vaddr] = rt.read(vaddr, PAGE_SIZE)
+        yield 3_000  # the interleaving window
+    key = SymmetricKey(rt.random_bytes(32), "naive-ckpt")
+    checkpoint = EnclaveCheckpoint(
+        image_name=app.image.name,
+        code_id=app.image.code_id,
+        mrenclave=app.image.mrenclave,
+        sequence=1,
+        pages=pages,
+        # The naive scheme believes every thread is stopped outside.
+        tcs_states=[TcsState(t.index, 0, FLAG_FREE) for t in app.image.tcs_templates],
+        skipped_pages=[],
+    )
+    out["envelope"] = seal_checkpoint(checkpoint, key, rt.random_bytes(16))
+    out["key"] = key
+    rt.exit_stub(template.index)
+    isa.eexit(session)
+    library.guest_os.scheduler.resume_threads(app.process)
+    return None
+
+
+def _restore_sum(tb: Testbed, app: HostApplication, envelope, key: SymmetricKey) -> int:
+    """Restore the (naive) checkpoint into a virgin target and read A+B."""
+    checkpoint = open_checkpoint(key, envelope)
+    target = HostApplication(
+        tb.target, tb.target_os, app.image, app.workers, name="bank-restored"
+    )
+    target.library.launch(owner=None)
+    template = app.image.control_tcs
+    session = isa.eenter(tb.target.cpu, target.library.hw(), template.vaddr)
+    rt = target.library._runtime(session)
+    rt.control_entry_stub(template.index)
+    writable = {
+        p.vaddr for p in app.image.pages if Permissions.W in p.sec_info.permissions
+    }
+    for vaddr, data in checkpoint.pages.items():
+        if vaddr in writable:
+            rt.write(vaddr, data)
+    rt.set_global_flag(0)
+    rt.exit_stub(template.index)
+    isa.eexit(session)
+    balances = target.ecall_once(1, "balances")
+    return balances["a"] + balances["b"]
+
+
+def run_consistency_scenario(
+    checkpointer: str = "two-phase",
+    malicious_scheduler: bool = True,
+    seed: int = 11,
+) -> ConsistencyOutcome:
+    """Run the attack; returns the restored invariant sum.
+
+    ``checkpointer`` is ``"naive"`` or ``"two-phase"``.
+    """
+    tb = build_testbed(seed=seed, malicious_scheduler=malicious_scheduler)
+    app = _setup(tb)
+
+    if checkpointer == "naive":
+        out: dict = {}
+        thread = tb.source_os.spawn_thread(
+            app.process, "naive-ckpt", _naive_checkpoint_body(app, out)
+        )
+        out["self"] = thread
+        tb.source_os.run_until(lambda: thread.finished)
+        restored_sum = _restore_sum(tb, app, out["envelope"], out["key"])
+    elif checkpointer == "two-phase":
+        orch = MigrationOrchestrator(tb)
+        result = orch.migrate_enclave(app)
+        target = result.target_app
+        # Let the resumed in-flight transfer entry run to completion so
+        # the SSA continuation does its half of the consistency story.
+        for _ in range(20_000):
+            if not target.process.live_threads():
+                break
+            tb.target_os.engine.step_round()
+        balances = target.ecall_once(1, "balances")
+        restored_sum = balances["a"] + balances["b"]
+    else:
+        raise ValueError(f"unknown checkpointer {checkpointer!r}")
+
+    return ConsistencyOutcome(
+        restored_sum=restored_sum,
+        expected_sum=TOTAL,
+        scheduler_honest=not malicious_scheduler,
+        checkpointer=checkpointer,
+    )

@@ -1,0 +1,134 @@
+"""The §V-A fork attack (Figure 6), executable.
+
+A mail client performs ① create (Eve among the recipients), ② delete
+Eve, ③ send — each acknowledged before the next.  A forking operator
+resumes instance one after state ① was migrated, serves ② there, then
+routes ③ to instance two, which never saw the deletion: Eve gets the
+mail.
+
+``run_fork_scenario("secure")`` runs the paper's protocol and shows each
+forking avenue fails (single channel, single K_migrate, self-destroy).
+``run_fork_scenario("forked")`` shows the same operator winning against
+an *owner-keyed snapshot* flow — semantically the fork of Figure 6 —
+while the owner's audit log records the evidence (§V-C's mitigation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ChannelError, MigrationError, SelfDestroyed
+from repro.migration.orchestrator import MigrationOrchestrator
+from repro.migration.snapshot import SnapshotManager
+from repro.migration.testbed import Testbed, build_testbed
+from repro.sdk import control
+from repro.sdk.host import HostApplication, WorkerSpec
+from repro.workloads.mailserver import build_mailserver_image
+
+EVE = "eve"
+RECIPIENTS = ["alice", "bob", EVE]
+
+
+@dataclass
+class ForkOutcome:
+    """What the forking operator achieved (and what blocked them)."""
+
+    eve_got_mail: bool
+    blocked_steps: list[str] = field(default_factory=list)
+    audit_entries: int = 0
+
+
+def _launch_mailserver(tb: Testbed, flavor: str) -> HostApplication:
+    built = build_mailserver_image(tb.builder, flavor=flavor)
+    tb.owner.register_image(built)
+    return HostApplication(
+        tb.source,
+        tb.source_os,
+        built.image,
+        workers=[WorkerSpec("sent_log", repeat=0), WorkerSpec("sent_log", repeat=0)],
+        owner=tb.owner,
+    ).launch()
+
+
+def run_fork_scenario(mode: str = "secure", seed: int = 23) -> ForkOutcome:
+    """Run the Figure 6 workflow in the chosen world (see module doc)."""
+    tb = build_testbed(seed=seed)
+    if mode == "secure":
+        return _secure_scenario(tb)
+    if mode == "forked":
+        return _forked_snapshot_scenario(tb)
+    raise ValueError(f"unknown mode {mode!r}")
+
+
+def _secure_scenario(tb: Testbed) -> ForkOutcome:
+    """The paper's protocol: every fork avenue is a dead end."""
+    app = _launch_mailserver(tb, "secure")
+    outcome = ForkOutcome(eve_got_mail=False)
+
+    # Op ①: create the draft (Eve included) on the source.
+    created = app.ecall_once(0, "create_mail", {"recipients": RECIPIENTS, "content": "xxx"})
+    mail_id = created["mail_id"]
+
+    orch = MigrationOrchestrator(tb)
+    result = orch.migrate_enclave(app)
+    target = result.target_app
+
+    # Avenue 1: resume the source instance to serve op ② there.
+    # Self-destroy keeps the global flag set: the ecall never completes.
+    thread = tb.source_os.spawn_thread(
+        app.process,
+        "post-destroy-op",
+        app.library.ecall_body(0, "delete_recipient", {"mail_id": mail_id, "recipient": EVE}),
+    )
+    for _ in range(300):
+        tb.source_os.engine.step_round()
+    if not thread.finished:
+        outcome.blocked_steps.append("source-resume-spins-forever")
+
+    # Avenue 2: migrate the (destroyed) source to a second target.
+    try:
+        orch.checkpoint_enclave(app)
+    except SelfDestroyed:
+        outcome.blocked_steps.append("second-checkpoint-refused")
+
+    # Avenue 3: open a second channel for another K_migrate handoff.
+    second = orch.build_virgin_target(app)
+    try:
+        orch.establish_channel(app, second)
+    except (ChannelError, SelfDestroyed):
+        outcome.blocked_steps.append("second-channel-refused")
+
+    # The legitimate instance serves ② and ③ normally: no mail to Eve.
+    target.ecall_once(0, "delete_recipient", {"mail_id": mail_id, "recipient": EVE})
+    sent = target.ecall_once(0, "send_mail", {"mail_id": mail_id})
+    outcome.eve_got_mail = EVE in sent["delivered_to"]
+    return outcome
+
+
+def _forked_snapshot_scenario(tb: Testbed) -> ForkOutcome:
+    """Figure 6 verbatim, against owner-keyed snapshots.
+
+    The operator *can* replay state ① into a second instance here — but
+    only by asking the owner for the resume key, which lands in the
+    audit log.  This is exactly the paper's point: migration must be
+    fork-proof without the owner; checkpoint/resume is allowed but
+    owner-audited.
+    """
+    app = _launch_mailserver(tb, "snapshot")
+    manager = SnapshotManager(tb, tb.owner)
+
+    created = app.ecall_once(0, "create_mail", {"recipients": RECIPIENTS, "content": "xxx"})
+    mail_id = created["mail_id"]
+
+    # Operator snapshots state ① ...
+    snapshot = manager.snapshot(app, reason="routine backup (so the operator claims)")
+    # ... serves op ② on the live instance (client gets its ack) ...
+    app.ecall_once(0, "delete_recipient", {"mail_id": mail_id, "recipient": EVE})
+    # ... then resurrects state ① elsewhere and routes op ③ to it.
+    forked = manager.resume(snapshot, app, reason="load balancing (so the operator claims)")
+    sent = forked.ecall_once(0, "send_mail", {"mail_id": mail_id})
+
+    return ForkOutcome(
+        eve_got_mail=EVE in sent["delivered_to"],
+        audit_entries=len(tb.owner.audit_log),
+    )

@@ -1,0 +1,118 @@
+"""The §V-A rollback / brute-force attack, executable.
+
+The password server locks after three failed attempts.  A rolling-back
+operator wants to reset the counter and keep guessing.
+
+* Against the *migration* path: impossible.  A migration moves the
+  locked state forward (state continuity, P-4); there is no key with
+  which to restore any older checkpoint, and the source self-destroys.
+* Against *owner-keyed snapshots*: each resume needs a fresh owner
+  grant, so the brute force shows up in the audit log and repeated
+  resumes of one sequence are flagged (§V-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import IntegrityError, MigrationError, RestoreError
+from repro.migration.orchestrator import MigrationOrchestrator
+from repro.migration.snapshot import SnapshotManager
+from repro.migration.testbed import Testbed, build_testbed
+from repro.sdk.host import HostApplication, WorkerSpec
+from repro.workloads.authserver import MAX_ATTEMPTS, build_authserver_image
+
+PASSWORD = "correct horse battery staple"
+
+
+@dataclass
+class RollbackOutcome:
+    """How far the brute-forcing operator got, and what got logged."""
+
+    attempts_made: int
+    locked_after: bool
+    rollback_blocked: bool = False
+    extra_attempts_via_snapshots: int = 0
+    resumes_logged: int = 0
+    flagged_rollbacks: int = 0
+    blocked_reason: str = ""
+
+
+def _launch_authserver(tb: Testbed) -> HostApplication:
+    built = build_authserver_image(tb.builder)
+    tb.owner.register_image(built)
+    app = HostApplication(
+        tb.source,
+        tb.source_os,
+        built.image,
+        workers=[WorkerSpec("status", repeat=0), WorkerSpec("status", repeat=0)],
+        owner=tb.owner,
+    ).launch()
+    app.ecall_once(0, "setup", {"password": PASSWORD})
+    return app
+
+
+#: Public alias: the examples reuse this launcher.
+launch_authserver = _launch_authserver
+
+
+def _burn_attempts(app: HostApplication, guesses: list[str]) -> int:
+    made = 0
+    for guess in guesses:
+        reply = app.ecall_once(0, "try_password", {"password": guess})
+        made += 1
+        if reply.get("locked"):
+            break
+    return made
+
+
+def run_rollback_scenario(mode: str = "migration", seed: int = 31) -> RollbackOutcome:
+    """Attack the lockout counter via ``migration`` or ``snapshot``."""
+    tb = build_testbed(seed=seed)
+    app = _launch_authserver(tb)
+    guesses = [f"guess-{i}" for i in range(10)]
+
+    made = _burn_attempts(app, guesses[:MAX_ATTEMPTS])
+    locked = app.ecall_once(0, "status")["locked"]
+
+    if mode == "migration":
+        # The operator migrates hoping for a fresh counter.  State
+        # continuity means the lock travels with the enclave.
+        orch = MigrationOrchestrator(tb)
+        result = orch.migrate_enclave(app)
+        target = result.target_app
+        still_locked = target.ecall_once(0, "status")["locked"]
+        # And there is no older state to restore: the only checkpoint
+        # ever sealed is the current one, under a key that was consumed.
+        return RollbackOutcome(
+            attempts_made=made,
+            locked_after=still_locked,
+            rollback_blocked=still_locked,
+            blocked_reason="migration preserves state continuity; no old checkpoint exists",
+        )
+
+    if mode == "snapshot":
+        # The §V-C path: the operator CAN roll back, but every resume is
+        # an owner-audited event and repeats are flagged.
+        tb2 = build_testbed(seed=seed + 1)
+        app2 = _launch_authserver(tb2)
+        manager = SnapshotManager(tb2, tb2.owner)
+        snapshot = manager.snapshot(app2, reason="before maintenance (so the operator claims)")
+        extra = 0
+        current = app2
+        for _round in range(2):
+            _burn_attempts(current, guesses[:MAX_ATTEMPTS])
+            extra += MAX_ATTEMPTS
+            current = manager.resume(
+                snapshot, app2, reason="crash recovery (so the operator claims)"
+            )
+        resumes = sum(1 for e in tb2.owner.audit_log if e.operation == "resume")
+        return RollbackOutcome(
+            attempts_made=made,
+            locked_after=locked,
+            extra_attempts_via_snapshots=extra,
+            resumes_logged=resumes,
+            flagged_rollbacks=len(tb2.owner.suspicious_rollbacks()),
+        )
+
+    raise ValueError(f"unknown mode {mode!r}")

@@ -1,0 +1,67 @@
+"""On-the-wire tampering with the sealed checkpoint (P-2, integrity).
+
+The adversary owns the network (and the disk the checkpoint crosses).
+Every modification — a single flipped bit, truncation, wholesale
+substitution — must be detected before any state is consumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CryptoError, IntegrityError, MigrationError, RestoreError
+from repro.migration.orchestrator import MigrationOrchestrator
+from repro.migration.testbed import build_testbed
+from repro.sdk.host import HostApplication, WorkerSpec
+from repro.workloads.mailserver import build_mailserver_image
+
+
+@dataclass
+class TamperOutcome:
+    """Whether the target detected the tampering, and with which error."""
+
+    mode: str
+    detected: bool
+    error: str
+
+
+def _flip_byte(payload: bytes, offset_from_end: int = 100) -> bytes:
+    index = max(0, len(payload) - offset_from_end)
+    mutated = bytearray(payload)
+    mutated[index] ^= 0x40
+    return bytes(mutated)
+
+
+def run_tamper_scenario(mode: str = "flip", seed: int = 53) -> TamperOutcome:
+    """Migrate with a tampering network tap; report what the target did.
+
+    Modes: ``flip`` (one bit in the ciphertext), ``truncate`` (drop the
+    tail), ``substitute`` (replace with an older capture of itself —
+    degenerate here, same bytes, so it must *succeed*; used as the
+    control case by the tests).
+    """
+    tb = build_testbed(seed=seed)
+    built = build_mailserver_image(tb.builder, flavor=f"tamper-{mode}")
+    tb.owner.register_image(built)
+    app = HostApplication(
+        tb.source, tb.source_os, built.image,
+        workers=[WorkerSpec("sent_log", repeat=0)], owner=tb.owner,
+    ).launch()
+    app.ecall_once(0, "create_mail", {"recipients": ["alice"], "content": "xxx"})
+
+    def tamper_tap(label: str, payload: bytes) -> bytes | None:
+        if label != "checkpoint":
+            return None
+        if mode == "flip":
+            return _flip_byte(payload)
+        if mode == "truncate":
+            return payload[: len(payload) // 2]
+        return None  # substitute/control: deliver unchanged
+
+    tb.network.add_tap(tamper_tap)
+    orch = MigrationOrchestrator(tb)
+    try:
+        orch.migrate_enclave(app)
+    except (IntegrityError, RestoreError, CryptoError, MigrationError) as exc:
+        return TamperOutcome(mode=mode, detected=True, error=type(exc).__name__)
+    return TamperOutcome(mode=mode, detected=False, error="")

@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``      — run the quickstart scenario end to end.
+* ``attack``    — run one of the paper's attacks (consistency / fork /
+  rollback / replay / tamper) and print the outcome.
+* ``vm``        — migrate a whole VM (optionally with enclaves / agent)
+  and print the Figure-10 quantities.
+* ``inventory`` — print the system inventory (modules and their paper
+  sections).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_demo(_args) -> int:
+    from repro import MigrationOrchestrator, build_testbed
+    from repro.sdk import AtomicEntry, EnclaveProgram, HostApplication
+
+    tb = build_testbed(seed=1)
+    program = EnclaveProgram("cli/demo-v1")
+    program.add_entry(
+        "incr",
+        AtomicEntry(
+            lambda rt, args: (
+                rt.store_global("n", rt.load_global("n") + int(1 if args is None else args))
+                or rt.load_global("n")
+            )
+        ),
+    )
+    built = tb.builder.build("cli-demo", program, n_workers=1, global_names=("n",))
+    tb.owner.register_image(built)
+    app = HostApplication(tb.source, tb.source_os, built.image, [], owner=tb.owner).launch()
+    print(f"built enclave, MRENCLAVE {built.image.mrenclave.hex()[:24]}…")
+    print(f"counter after 3 calls: {[app.ecall_once(0, 'incr') for _ in range(3)][-1]}")
+    result = MigrationOrchestrator(tb).migrate_enclave(app)
+    print(f"migrated ({result.checkpoint_bytes} checkpoint bytes on the wire, sealed)")
+    print(f"counter on the target: {result.target_app.ecall_once(0, 'incr', 0)}")
+    print(f"virtual time elapsed: {tb.clock.now_ms:.2f} ms")
+    return 0
+
+
+def _cmd_attack(args) -> int:
+    name = args.name
+    if name == "consistency":
+        from repro.attacks.consistency import run_consistency_scenario
+
+        for checkpointer in ("naive", "two-phase"):
+            outcome = run_consistency_scenario(checkpointer, malicious_scheduler=True)
+            print(
+                f"{checkpointer:10s} vs lying scheduler: A+B = {outcome.restored_sum} "
+                f"({'CONSISTENT' if outcome.consistent else 'TORN'})"
+            )
+    elif name == "fork":
+        from repro.attacks.fork import run_fork_scenario
+
+        outcome = run_fork_scenario("secure")
+        print(f"eve got the mail: {outcome.eve_got_mail}")
+        for step in outcome.blocked_steps:
+            print(f"blocked: {step}")
+    elif name == "rollback":
+        from repro.attacks.rollback import run_rollback_scenario
+
+        outcome = run_rollback_scenario("migration")
+        print(f"still locked after migration: {outcome.locked_after}")
+        audited = run_rollback_scenario("snapshot")
+        print(
+            f"snapshot abuse: {audited.extra_attempts_via_snapshots} extra guesses, "
+            f"{audited.resumes_logged} resumes logged, "
+            f"{audited.flagged_rollbacks} flagged"
+        )
+    elif name == "replay":
+        from repro.attacks.replay import run_replay_scenario
+
+        outcome = run_replay_scenario()
+        print(f"all replays blocked: {outcome.all_blocked} ({outcome})")
+    elif name == "tamper":
+        from repro.attacks.tamper import run_tamper_scenario
+
+        for mode in ("flip", "truncate"):
+            outcome = run_tamper_scenario(mode)
+            print(f"{mode}: detected={outcome.detected} ({outcome.error})")
+    else:  # pragma: no cover - argparse restricts choices
+        return 1
+    return 0
+
+
+def _cmd_vm(args) -> int:
+    from repro import build_testbed
+    from repro.migration.agent import AgentService, build_agent_image
+    from repro.migration.vm import VmMigrationManager, migrate_plain_vm
+    from repro.sdk import HostApplication, WorkerSpec
+    from repro.workloads.apps import build_app_image
+
+    tb = build_testbed(seed=args.seed)
+    if args.enclaves == 0:
+        report = migrate_plain_vm(tb)
+        print(
+            f"total {report.total_ms:.0f} ms | downtime {report.downtime_ms:.2f} ms | "
+            f"transferred {report.transferred_mb:.1f} MB | rounds {report.precopy_rounds}"
+        )
+        return 0
+    agent = None
+    if args.agent:
+        agent_built = build_agent_image(tb.builder)
+        tb.owner.set_agent_image(agent_built)
+    apps = []
+    for i in range(args.enclaves):
+        built = build_app_image(tb.builder, "cr4", flavor=f"cli{i}")
+        tb.owner.register_image(built)
+        apps.append(
+            HostApplication(
+                tb.source, tb.source_os, built.image,
+                workers=[WorkerSpec("process", args=1, repeat=None)],
+                owner=tb.owner,
+            ).launch()
+        )
+    if args.agent:
+        agent = AgentService(tb, agent_built)
+    for _ in range(30):
+        tb.source_os.engine.step_round()
+    result = VmMigrationManager(tb, apps).migrate(agent=agent)
+    print(
+        f"total {result.total_ms:.0f} ms | downtime {result.downtime_ms:.2f} ms | "
+        f"transferred {result.transferred_mb:.1f} MB | "
+        f"checkpointing {result.prep_ms:.2f} ms | restore {result.restore_ms:.2f} ms"
+    )
+    return 0
+
+
+def _cmd_inventory(_args) -> int:
+    rows = [
+        ("repro.sim", "virtual clock, cost model, VCPU scheduler", "—"),
+        ("repro.crypto", "RC4/DES/AES/DH/RSA/HKDF, AE envelope", "§IV, §V-B"),
+        ("repro.sgx", "EPC/EPCM, MEE, instruction set, attestation", "§II-A"),
+        ("repro.sgx.sgx2", "EDMM: EAUG/EACCEPT/EMODPR/EMODPE", "§IV-B (v2 note)"),
+        ("repro.sgx.proposed", "EPUTKEY/EMIGRATE/ESWPOUT/… extension ISA", "§VII-B"),
+        ("repro.hypervisor", "EPT, VMCS, vEPC overcommit, QEMU pre-copy", "§VI-A"),
+        ("repro.guestos", "scheduler (honest+malicious), SGX driver", "§IV-A, §VI-B"),
+        ("repro.sdk", "builder, runtime, control thread, library, owner", "§III, §VI-C"),
+        ("repro.migration", "orchestrator, agent, snapshots, VM migration", "§III-§VI"),
+        ("repro.attacks", "consistency, fork, rollback, replay, tamper", "§IV-A, §V-A, §VII-A"),
+        ("repro.workloads", "nbench, crypto apps, bank, mail, auth, memcached", "§VIII"),
+    ]
+    width = max(len(r[0]) for r in rows)
+    for module, what, section in rows:
+        print(f"{module.ljust(width)}  {what}  [{section}]")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and dispatch to a subcommand; returns exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Secure Live Migration of SGX Enclaves on Untrusted Cloud (DSN'17) — reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("demo", help="run the quickstart scenario").set_defaults(fn=_cmd_demo)
+    attack = sub.add_parser("attack", help="run one of the paper's attacks")
+    attack.add_argument(
+        "name", choices=("consistency", "fork", "rollback", "replay", "tamper")
+    )
+    attack.set_defaults(fn=_cmd_attack)
+    vm = sub.add_parser("vm", help="migrate a whole VM")
+    vm.add_argument("--enclaves", type=int, default=4)
+    vm.add_argument("--agent", action="store_true", help="use the §VI-D agent enclave")
+    vm.add_argument("--seed", default="cli")
+    vm.set_defaults(fn=_cmd_vm)
+    sub.add_parser("inventory", help="print the system inventory").set_defaults(
+        fn=_cmd_inventory
+    )
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Diffie-Hellman key exchange over the RFC 3526 2048-bit MODP group.
+
+The paper: "The source and the target control threads leverage
+Diffie-Hellman key exchange protocol to build a secure channel" (§V-B).
+This is classic finite-field DH; the shared secret is hashed into a
+256-bit session key.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hashes import sha256
+from repro.errors import CryptoError
+from repro.sim.rng import DeterministicRng
+
+# RFC 3526, group 14 (2048-bit MODP).
+MODP_2048_P = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1"
+    "29024E088A67CC74020BBEA63B139B22514A08798E3404DD"
+    "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245"
+    "E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D"
+    "C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F"
+    "83655D23DCA3AD961C62F356208552BB9ED529077096966D"
+    "670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9"
+    "DE2BCBF6955817183995497CEA956AE515D2261898FA0510"
+    "15728E5A8AACAA68FFFFFFFFFFFFFFFF",
+    16,
+)
+MODP_2048_G = 2
+
+
+class DhKeyExchange:
+    """One party's half of a Diffie-Hellman exchange."""
+
+    def __init__(self, rng: DeterministicRng) -> None:
+        self._private = rng.getrandbits(256) | (1 << 255)
+        self.public = pow(MODP_2048_G, self._private, MODP_2048_P)
+
+    def shared_secret(self, peer_public: int) -> bytes:
+        """Complete the exchange and return a 32-byte session key.
+
+        Rejects degenerate peer values (0, 1, p-1) that would force a
+        predictable shared secret — a real small-subgroup check.
+        """
+        if not 1 < peer_public < MODP_2048_P - 1:
+            raise CryptoError("degenerate DH public value")
+        secret = pow(peer_public, self._private, MODP_2048_P)
+        return sha256(secret.to_bytes(256, "big"))

@@ -1,0 +1,42 @@
+"""Hashes, MACs and key derivation.
+
+SHA-256 and HMAC come from the standard library (the paper's contribution
+is not a hash function); HKDF is implemented here on top of HMAC per
+RFC 5869 and is used everywhere a key must be derived from another
+(per-CPU sealing keys, channel session keys, envelope enc/mac split).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+
+
+def sha256(data: bytes) -> bytes:
+    """SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).digest()
+
+
+def hmac_sha256(key: bytes, data: bytes) -> bytes:
+    """HMAC-SHA-256 of ``data`` under ``key``."""
+    return _hmac.new(key, data, hashlib.sha256).digest()
+
+
+def constant_time_equal(a: bytes, b: bytes) -> bool:
+    """Timing-safe comparison (the semantics matter even in a simulation)."""
+    return _hmac.compare_digest(a, b)
+
+
+def hkdf(key_material: bytes, info: bytes, length: int = 32, salt: bytes = b"") -> bytes:
+    """HKDF-SHA-256 extract-and-expand (RFC 5869)."""
+    if length > 255 * 32:
+        raise ValueError("HKDF output too long")
+    pseudo_random_key = hmac_sha256(salt or b"\x00" * 32, key_material)
+    output = b""
+    block = b""
+    counter = 1
+    while len(output) < length:
+        block = hmac_sha256(pseudo_random_key, block + info + bytes([counter]))
+        output += block
+        counter += 1
+    return output[:length]

@@ -1,0 +1,56 @@
+"""Typed key material.
+
+Wrapping raw bytes in small types keeps key-handling honest: the code can
+state *which* key it expects (a migration key, a sealing key, a session
+key) and tests can assert that, e.g., K_migrate never appears outside an
+enclave or a sealed channel message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.hashes import hkdf
+from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
+from repro.sim.rng import DeterministicRng
+
+
+@dataclass(frozen=True)
+class SymmetricKey:
+    """A labelled symmetric key."""
+
+    material: bytes
+    label: str = "key"
+
+    def __post_init__(self) -> None:
+        if len(self.material) < 16:
+            raise ValueError("symmetric keys must be at least 128 bits")
+
+    def derive(self, purpose: str, length: int = 32) -> "SymmetricKey":
+        """Derive a sub-key bound to ``purpose`` via HKDF."""
+        material = hkdf(self.material, purpose.encode(), length)
+        return SymmetricKey(material, f"{self.label}/{purpose}")
+
+    def __repr__(self) -> str:
+        # Never print key material.
+        return f"<SymmetricKey {self.label} ({8 * len(self.material)} bits)>"
+
+    @staticmethod
+    def random(rng: DeterministicRng, label: str = "key", length: int = 32) -> "SymmetricKey":
+        """Draw a fresh key from the given entropy source."""
+        return SymmetricKey(rng.bytes(length), label)
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """An asymmetric keypair with a label (image key, platform key, ...)."""
+
+    private: RsaPrivateKey
+    label: str = "keypair"
+    public: RsaPublicKey = field(init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "public", self.private.public)
+
+    def __repr__(self) -> str:
+        return f"<KeyPair {self.label} n={self.private.n.bit_length()} bits>"

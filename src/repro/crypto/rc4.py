@@ -1,0 +1,53 @@
+"""RC4 stream cipher.
+
+The paper uses RC4 as the default checkpoint cipher ("we use RC4 as the
+encryption method and the output size is 20KB. The encryption process takes
+about 200us", §VIII-B).  This is the standard KSA + PRGA construction;
+encryption and decryption are the same keystream XOR.
+"""
+
+from __future__ import annotations
+
+
+class Rc4:
+    """RC4 with the classic 256-byte state."""
+
+    def __init__(self, key: bytes) -> None:
+        if not 1 <= len(key) <= 256:
+            raise ValueError("RC4 key must be 1..256 bytes")
+        state = list(range(256))
+        j = 0
+        for i in range(256):
+            j = (j + state[i] + key[i % len(key)]) & 0xFF
+            state[i], state[j] = state[j], state[i]
+        self._state = state
+        self._i = 0
+        self._j = 0
+
+    def keystream(self, n: int) -> bytes:
+        """Generate the next ``n`` keystream bytes."""
+        state = self._state
+        i, j = self._i, self._j
+        out = bytearray(n)
+        for k in range(n):
+            i = (i + 1) & 0xFF
+            j = (j + state[i]) & 0xFF
+            state[i], state[j] = state[j], state[i]
+            out[k] = state[(state[i] + state[j]) & 0xFF]
+        self._i, self._j = i, j
+        return bytes(out)
+
+    def process(self, data: bytes) -> bytes:
+        """Encrypt or decrypt ``data`` (XOR with the keystream)."""
+        stream = self.keystream(len(data))
+        return bytes(a ^ b for a, b in zip(data, stream))
+
+
+def rc4_encrypt(key: bytes, data: bytes) -> bytes:
+    """One-shot RC4 encryption with a fresh cipher state."""
+    return Rc4(key).process(data)
+
+
+def rc4_decrypt(key: bytes, data: bytes) -> bytes:
+    """One-shot RC4 decryption (identical to encryption)."""
+    return Rc4(key).process(data)

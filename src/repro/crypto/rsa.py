@@ -1,0 +1,154 @@
+"""RSA signatures for attestation and channel authentication.
+
+Used by: the Quoting Enclave (quote signatures), the attestation service
+(verification-report signatures), the enclave image keypair of §V-B
+("We put a pair of keys into the enclave image. The public key is in
+plaintext while the private key is in ciphertext."), and enclave owners.
+
+Key generation uses Miller-Rabin with 1024-bit moduli — small by modern
+deployment standards but honest in structure, and fast enough that tests
+can generate fresh keys.  Signing is full-block EMSA-style padding over a
+SHA-256 digest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashes import sha256
+from repro.errors import SignatureError
+from repro.sim.rng import DeterministicRng
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139,
+)
+
+
+def _is_probable_prime(n: int, rng: DeterministicRng, rounds: int = 24) -> bool:
+    """Miller-Rabin probabilistic primality test."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = rng.randint(2, n - 2)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _generate_prime(bits: int, rng: DeterministicRng) -> int:
+    """Generate a random probable prime with the top two bits set."""
+    while True:
+        candidate = rng.getrandbits(bits) | (0b11 << (bits - 2)) | 1
+        if _is_probable_prime(candidate, rng):
+            return candidate
+
+
+def _pad_digest(digest: bytes, modulus_bytes: int) -> int:
+    """EMSA-style padding: 0x00 0x01 FF..FF 0x00 digest."""
+    padding_len = modulus_bytes - len(digest) - 3
+    if padding_len < 8:
+        raise ValueError("modulus too small for padded digest")
+    padded = b"\x00\x01" + b"\xff" * padding_len + b"\x00" + digest
+    return int.from_bytes(padded, "big")
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    """RSA public key (n, e); verifies signatures."""
+
+    n: int
+    e: int
+
+    @property
+    def modulus_bytes(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+    def verify(self, message: bytes, signature: bytes) -> None:
+        """Raise :class:`SignatureError` unless ``signature`` is valid."""
+        if len(signature) != self.modulus_bytes:
+            raise SignatureError("signature length mismatch")
+        expected = _pad_digest(sha256(message), self.modulus_bytes)
+        recovered = pow(int.from_bytes(signature, "big"), self.e, self.n)
+        if recovered != expected:
+            raise SignatureError("RSA signature verification failed")
+
+    def is_valid(self, message: bytes, signature: bytes) -> bool:
+        """Boolean convenience wrapper around :meth:`verify`."""
+        try:
+            self.verify(message, signature)
+        except SignatureError:
+            return False
+        return True
+
+    def fingerprint(self) -> bytes:
+        """Stable identifier for this key (hash of n || e)."""
+        return sha256(self.n.to_bytes(self.modulus_bytes, "big") + self.e.to_bytes(4, "big"))
+
+
+@dataclass(frozen=True)
+class RsaPrivateKey:
+    """RSA private key; signs SHA-256 digests."""
+
+    n: int
+    e: int
+    d: int
+
+    @property
+    def public(self) -> RsaPublicKey:
+        return RsaPublicKey(self.n, self.e)
+
+    @property
+    def modulus_bytes(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+    def sign(self, message: bytes) -> bytes:
+        padded = _pad_digest(sha256(message), self.modulus_bytes)
+        return pow(padded, self.d, self.n).to_bytes(self.modulus_bytes, "big")
+
+
+#: Keygen memo: deterministic seeds always produce the same key, so the
+#: testbed (which builds many machines/images per test) skips repeat work.
+_KEYGEN_CACHE: dict[tuple[str, int], RsaPrivateKey] = {}
+
+
+def generate_rsa_keypair(rng: DeterministicRng, bits: int = 1024) -> RsaPrivateKey:
+    """Generate an RSA keypair with modulus of roughly ``bits`` bits.
+
+    Results are memoized by the generator's seed: the same seed would
+    deterministically reproduce the same primes anyway.
+    """
+    cache_key = (str(getattr(rng, "seed", "")), bits)
+    if cache_key[0] and cache_key in _KEYGEN_CACHE:
+        return _KEYGEN_CACHE[cache_key]
+    keypair = _generate_rsa_keypair_uncached(rng, bits)
+    if cache_key[0]:
+        _KEYGEN_CACHE[cache_key] = keypair
+    return keypair
+
+
+def _generate_rsa_keypair_uncached(rng: DeterministicRng, bits: int) -> RsaPrivateKey:
+    e = 65537
+    while True:
+        p = _generate_prime(bits // 2, rng)
+        q = _generate_prime(bits // 2, rng)
+        if p == q:
+            continue
+        phi = (p - 1) * (q - 1)
+        if phi % e == 0:
+            continue
+        return RsaPrivateKey(n=p * q, e=e, d=pow(e, -1, phi))

@@ -1,0 +1,152 @@
+"""Exception hierarchy for the whole reproduction.
+
+Every subsystem raises subclasses of :class:`ReproError` so callers can
+catch at the granularity they care about (a single instruction fault, a
+protocol violation, or anything from this library at all).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# SGX hardware model faults
+# ---------------------------------------------------------------------------
+
+class SgxError(ReproError):
+    """Base class for faults raised by the simulated SGX hardware."""
+
+
+class SgxAccessFault(SgxError):
+    """Software touched memory the SGX access rules forbid.
+
+    Raised when non-enclave code reads or writes an EPC page, when one
+    enclave touches another enclave's pages, or when software reads a
+    hardware-only structure field (e.g. ``TCS.cssa``).
+    """
+
+
+class SgxInstructionFault(SgxError):
+    """An SGX instruction was executed with illegal operands or state."""
+
+
+class EnclavePageFault(SgxError):
+    """An enclave touched one of its pages that is currently evicted.
+
+    The (untrusted) OS handles this by loading the page back with ELDB,
+    after which the access is retried — the control thread relies on this
+    when it scans enclave memory during checkpointing (§IV-B).
+    """
+
+    def __init__(self, vaddr: int) -> None:
+        super().__init__(f"enclave page fault at 0x{vaddr:x}")
+        self.vaddr = vaddr
+
+
+class SgxMacMismatch(SgxError):
+    """An evicted page or report failed its cryptographic MAC check.
+
+    This is the hardware fact the paper is built on: a page evicted with
+    EWB on one CPU cannot be loaded with ELDB on another CPU because the
+    page-encryption key never leaves the processor.
+    """
+
+
+class SgxVersionMismatch(SgxError):
+    """An ELDB/ELDU found a stale version number (anti-replay check)."""
+
+
+class SgxEpcExhausted(SgxError):
+    """No free EPC page is available and eviction was not possible."""
+
+
+# ---------------------------------------------------------------------------
+# Virtualization stack
+# ---------------------------------------------------------------------------
+
+class HypervisorError(ReproError):
+    """Base class for hypervisor (KVM model) errors."""
+
+
+class EptViolation(HypervisorError):
+    """A guest access missed in the extended page tables."""
+
+
+class GuestOsError(ReproError):
+    """Base class for guest-OS model errors."""
+
+
+class NoSuchEnclave(GuestOsError):
+    """An enclave id was used after destruction or was never created."""
+
+
+# ---------------------------------------------------------------------------
+# Cryptography
+# ---------------------------------------------------------------------------
+
+class CryptoError(ReproError):
+    """Base class for crypto-substrate errors."""
+
+
+class IntegrityError(CryptoError):
+    """A MAC or digest check failed; the payload must be discarded."""
+
+
+class SignatureError(CryptoError):
+    """A public-key signature failed verification."""
+
+
+# ---------------------------------------------------------------------------
+# Attestation
+# ---------------------------------------------------------------------------
+
+class AttestationError(ReproError):
+    """Local or remote attestation failed."""
+
+
+class QuoteRejected(AttestationError):
+    """The attestation service rejected a quote."""
+
+
+# ---------------------------------------------------------------------------
+# Migration protocol
+# ---------------------------------------------------------------------------
+
+class MigrationError(ReproError):
+    """Base class for migration-protocol failures."""
+
+
+class MigrationAborted(MigrationError):
+    """The migration was cancelled before the point of no return."""
+
+
+class ChannelError(MigrationError):
+    """The migration secure channel could not be established or was reused."""
+
+
+class SelfDestroyed(MigrationError):
+    """An operation was attempted on an enclave that has self-destroyed.
+
+    After the source enclave hands the migration key to the (single,
+    attested) target, it refuses to ever run again; any ecall raises this.
+    """
+
+
+class ConsistencyViolation(MigrationError):
+    """A checkpoint failed its consistency verification.
+
+    In a correct run this never fires; the attack tests assert that a
+    *broken* (single-phase) checkpointer produces it while the paper's
+    two-phase scheme does not.
+    """
+
+
+class RestoreError(MigrationError):
+    """The target enclave could not be restored from the checkpoint."""
+
+
+class CssaMismatch(RestoreError):
+    """Tracked CSSA disagrees with the checkpoint after restore (step 4)."""

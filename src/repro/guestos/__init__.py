@@ -1,0 +1,23 @@
+"""Guest operating system model.
+
+The guest OS is *untrusted* in the paper's threat model: it schedules the
+enclave's host threads (and may lie about having stopped them — the data-
+consistency adversary of §IV-A), it runs the SGX driver that manages the
+virtual EPC with LRU eviction (§VI-B), it delivers the migration signal to
+enclave applications, and it reports readiness to the hypervisor (§VI-D).
+"""
+
+from repro.guestos.kernel import GuestOs
+from repro.guestos.process import GuestProcess, GuestThread
+from repro.guestos.scheduler import MaliciousScheduler, Scheduler
+from repro.guestos.sgx_driver import EnclaveRecord, SgxDriver
+
+__all__ = [
+    "EnclaveRecord",
+    "GuestOs",
+    "GuestProcess",
+    "GuestThread",
+    "MaliciousScheduler",
+    "Scheduler",
+    "SgxDriver",
+]

@@ -1,0 +1,61 @@
+"""The guest thread scheduler — honest and malicious variants.
+
+The scheduler is part of the untrusted OS.  The paper's §IV-A adversary is
+exactly a scheduler that *claims* to have stopped a process's threads but
+keeps running them, tearing the state a naive checkpointer dumps.  The
+two-phase checkpointing design exists so that the control thread never has
+to believe answers from this component.
+"""
+
+from __future__ import annotations
+
+from repro.guestos.process import GuestProcess, GuestThread
+from repro.sim.engine import Engine, ThreadBody
+from repro.sim.trace import EventTrace
+
+
+class Scheduler:
+    """Honest round-robin scheduler over the VM's VCPUs."""
+
+    def __init__(self, engine: Engine, trace: EventTrace) -> None:
+        self.engine = engine
+        self.trace = trace
+
+    def spawn(self, process: GuestProcess, name: str, body: ThreadBody) -> GuestThread:
+        thread = GuestThread(process, name, body)
+        process.threads.append(thread)
+        self.engine.add(thread)
+        return thread
+
+    def stop_other_threads(self, process: GuestProcess, requester: GuestThread) -> bool:
+        """Suspend every other thread of ``process``; returns success.
+
+        This is the syscall the *naive* checkpointer trusts.  The honest
+        scheduler really suspends; see :class:`MaliciousScheduler`.
+        """
+        for thread in process.live_threads():
+            if thread is not requester:
+                thread.suspended = True
+        self.trace.emit("sched", "stop_other_threads", process=process.name, honest=True)
+        return True
+
+    def resume_threads(self, process: GuestProcess) -> None:
+        for thread in process.threads:
+            thread.suspended = False
+
+    def run_until(self, predicate, max_rounds: int = 1_000_000) -> int:
+        return self.engine.run(until=predicate, max_rounds=max_rounds)
+
+
+class MaliciousScheduler(Scheduler):
+    """The §IV-A adversary: acknowledges stop requests without stopping.
+
+    "the malicious OS returns OK but actually does not stop the worker
+    thread" — everything else behaves normally, which is what makes the
+    attack hard to detect from inside the enclave without the two-phase
+    scheme.
+    """
+
+    def stop_other_threads(self, process: GuestProcess, requester: GuestThread) -> bool:
+        self.trace.emit("sched", "stop_other_threads", process=process.name, honest=False)
+        return True  # lie: no thread was suspended

@@ -1,0 +1,28 @@
+"""Virtualization stack: KVM-like hypervisor and QEMU-like monitor.
+
+Models the pieces of §VI-A the migration path runs through: EPC
+virtualization with on-demand mapping and overcommit, VMExit handling
+with the Enclave Interruption bit, the upcall that tells a guest to
+prepare its enclaves, the hypercall with which the guest reports
+readiness, and the pre-copy live-migration loop whose total time,
+downtime and transferred bytes are what Figures 10(b)-(d) measure.
+"""
+
+from repro.hypervisor.ept import Ept
+from repro.hypervisor.kvm import Hypervisor
+from repro.hypervisor.qemu import MigrationReport, QemuMonitor
+from repro.hypervisor.vepc import VirtualEpc
+from repro.hypervisor.vm import GuestMemoryModel, Vm
+from repro.hypervisor.vmcs import ExitReason, Vmcs
+
+__all__ = [
+    "Ept",
+    "ExitReason",
+    "GuestMemoryModel",
+    "Hypervisor",
+    "MigrationReport",
+    "QemuMonitor",
+    "VirtualEpc",
+    "Vm",
+    "Vmcs",
+]

@@ -1,0 +1,87 @@
+"""The virtual machine object and its statistical memory model.
+
+Enclave memory is modelled byte-for-byte (it is what the paper protects);
+ordinary guest RAM is modelled *statistically* — page counts, a working
+set and a dirtying rate — which is all pre-copy migration needs to
+reproduce the total-time / downtime / transferred-bytes behaviour of
+Figures 10(b)-(d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hypervisor.vmcs import Vmcs
+from repro.sgx.structures import PAGE_SIZE
+
+
+@dataclass
+class GuestMemoryModel:
+    """Dirty-page dynamics of one VM's RAM.
+
+    ``working_set_pages`` bounds how many distinct pages can be dirty at
+    once; ``dirty_rate_pps`` is how fast the workload re-dirties pages.
+    Both are deterministic so migration runs are reproducible.
+    """
+
+    total_pages: int
+    working_set_pages: int
+    dirty_rate_pps: int
+    #: Pages with real content.  QEMU's zero-page detection skips the
+    #: rest, which is why the paper transfers ~1 GB of a 2 GB VM.
+    used_pages: int | None = None
+    dirty_pages: int = 0
+    #: Extra bytes parked in RAM by the migration path itself (enclave
+    #: checkpoints, guest-OS enclave records) — transferred exactly once.
+    extra_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.used_pages is None:
+            self.used_pages = self.total_pages // 2
+        if self.working_set_pages > self.total_pages:
+            raise ValueError("working set cannot exceed total memory")
+        if self.used_pages > self.total_pages:
+            raise ValueError("used pages cannot exceed total memory")
+        self.working_set_pages = min(self.working_set_pages, self.used_pages)
+        # Before the first pre-copy pass every used page must be sent.
+        self.dirty_pages = self.used_pages
+
+    @property
+    def total_bytes(self) -> int:
+        return self.total_pages * PAGE_SIZE
+
+    def advance(self, dt_ns: int) -> None:
+        """Account for ``dt_ns`` of guest execution dirtying pages."""
+        newly = int(self.dirty_rate_pps * dt_ns / 1_000_000_000)
+        self.dirty_pages = min(self.working_set_pages, self.dirty_pages + newly)
+
+    def take_dirty(self) -> int:
+        """Atomically claim the current dirty set for transfer."""
+        claimed = self.dirty_pages
+        self.dirty_pages = 0
+        return claimed
+
+    def park_extra_bytes(self, n: int) -> None:
+        self.extra_bytes += n
+
+
+@dataclass
+class Vm:
+    """One guest VM: VCPUs, RAM model, virtual EPC, and (later) a guest OS."""
+
+    name: str
+    n_vcpus: int
+    memory: GuestMemoryModel
+    vmcs: list[Vmcs] = field(default_factory=list)
+    vepc: object = None          # VirtualEpc, attached by the hypervisor
+    guest_os: object = None      # GuestOs, attached by the guest boot path
+    paused: bool = False
+
+    def __post_init__(self) -> None:
+        self.vmcs = [Vmcs(vcpu_id=i) for i in range(self.n_vcpus)]
+
+    def pause(self) -> None:
+        self.paused = True
+
+    def resume(self) -> None:
+        self.paused = False

@@ -1,0 +1,48 @@
+"""Virtual Machine Control Structure, per VCPU.
+
+"Once a VMExit event occurs when the CPU is running an enclave, the
+hardware will set a bit, named 'Enclave Interruption' bit, in the Guest
+Interruptibility State field of the VMCS as well as in the EXIT_REASON
+field before delivering the VMExit to the hypervisor" (§VI-A).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ExitReason(enum.Enum):
+    EPT_VIOLATION = "ept-violation"
+    EXTERNAL_INTERRUPT = "external-interrupt"
+    ILLEGAL_INSTRUCTION = "illegal-instruction"
+    HYPERCALL = "hypercall"
+
+#: Bit set in EXIT_REASON when the VMExit interrupted enclave execution.
+ENCLAVE_INTERRUPTION_BIT = 1 << 27
+
+
+@dataclass
+class Vmcs:
+    """The handful of VMCS fields the SGX-aware exit path reads."""
+
+    vcpu_id: int
+    exit_reason: ExitReason | None = None
+    exit_reason_bits: int = 0
+    guest_interruptibility: int = 0
+    exit_qualification: dict = field(default_factory=dict)
+
+    def record_exit(self, reason: ExitReason, in_enclave: bool, **qualification) -> None:
+        """Fill the exit fields as hardware would on VMExit."""
+        self.exit_reason = reason
+        self.exit_reason_bits = ENCLAVE_INTERRUPTION_BIT if in_enclave else 0
+        self.guest_interruptibility = ENCLAVE_INTERRUPTION_BIT if in_enclave else 0
+        self.exit_qualification = qualification
+
+    @property
+    def enclave_interruption(self) -> bool:
+        return bool(self.exit_reason_bits & ENCLAVE_INTERRUPTION_BIT)
+
+    def clear_enclave_interruption(self) -> None:
+        """What our KVM patch does before reusing the original handlers."""
+        self.exit_reason_bits &= ~ENCLAVE_INTERRUPTION_BIT

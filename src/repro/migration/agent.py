@@ -1,0 +1,164 @@
+"""The agent enclave: hiding attestation latency (§VI-D).
+
+"The application developer needs to provide another enclave called the
+agent enclave ... During a migration (or even before a migration), the
+source control thread first remotely attests the agent enclave on the
+target machine and then transfers the K_migrate to it in advance.  Hence,
+when the VM is resumed on the target machine, all its enclaves can get
+their migration keys from agent enclaves through local attestation."
+
+The agent is an ordinary SDK enclave whose entries manage an escrow
+table: each record is keyed by the *measurement* of the enclave it was
+escrowed for, and is released exactly once, only to a locally attested
+enclave with that measurement (preserving P-5, single instance).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.authenc import Envelope, open_envelope, seal_envelope
+from repro.crypto.dh import MODP_2048_G, MODP_2048_P
+from repro.crypto.hashes import sha256
+from repro.crypto.keys import SymmetricKey
+from repro.errors import AttestationError, ChannelError, MigrationError
+from repro.sdk import control
+from repro.sdk.builder import BuiltImage, SdkBuilder
+from repro.sdk.control import _bind_report_data
+from repro.sdk.host import HostApplication
+from repro.sdk.image import OBJ_BOOT
+from repro.sdk.program import EnclaveProgram
+from repro.sdk.runtime import EnclaveRuntime
+from repro.serde import pack, unpack
+from repro.sgx.instructions import verify_report
+from repro.sgx.structures import Report
+
+OBJ_ESCROW = "escrow_table"
+
+
+def build_agent_image(builder: SdkBuilder, name: str = "agent") -> BuiltImage:
+    """Build the developer-provided agent enclave image."""
+    program = EnclaveProgram(f"repro/agent-enclave-v1/{name}")
+    return builder.build(
+        name,
+        program,
+        n_workers=1,
+        heap_pages=2,
+        data_objects={OBJ_ESCROW: 2 * 4096},
+    )
+
+
+# ---------------------------------------------------------------------------
+# In-enclave agent logic (runs on the agent's control TCS)
+# ---------------------------------------------------------------------------
+
+def agent_escrow_request(rt: EnclaveRuntime, qe) -> tuple:
+    """Fresh DH half + quote, for the remote source to attest."""
+    from repro.sdk.control import owner_key_request  # same shape, new purpose
+
+    return owner_key_request(rt, qe, "agent-escrow")
+
+
+def agent_store_escrow(rt: EnclaveRuntime, source_dh_public: int, sealed: bytes) -> None:
+    """Accept an escrowed K_migrate from a remotely attested source."""
+    boot = rt.load_obj(OBJ_BOOT)
+    if boot is None:
+        raise ChannelError("no escrow exchange in progress")
+    shared = pow(source_dh_public, boot["dh_private"], MODP_2048_P)
+    session_key = SymmetricKey(sha256(shared.to_bytes(256, "big")), "agent-escrow")
+    payload = unpack(
+        open_envelope(session_key, Envelope.from_bytes(sealed), aad=b"agent-escrow")
+    )
+    table = rt.load_obj(OBJ_ESCROW, default={}) or {}
+    key_id = payload["target_mr"].hex()
+    if key_id in table and not table[key_id]["released"]:
+        raise MigrationError("an unreleased escrow already exists for this measurement")
+    table[key_id] = {
+        "kmigrate": payload["kmigrate"],
+        "sequence": payload["sequence"],
+        "released": False,
+    }
+    rt.store_obj(OBJ_ESCROW, table)
+    rt.delete_obj(OBJ_BOOT)
+
+
+def agent_release_key(
+    rt: EnclaveRuntime, report: Report, requester_dh_public: int
+) -> tuple[int, bytes]:
+    """Release an escrowed key to a *locally attested* enclave, once.
+
+    The report must be addressed to this agent (verified with the agent's
+    own report key via EGETKEY — only same-CPU reports pass), must bind
+    the requester's DH half, and its MRENCLAVE selects the escrow record.
+    """
+    if not verify_report(rt.session, report):
+        raise AttestationError("local attestation failed: report not for this agent/CPU")
+    if report.report_data != _bind_report_data("agent-release", requester_dh_public):
+        raise AttestationError("report does not bind the offered DH value")
+    table = rt.load_obj(OBJ_ESCROW, default={}) or {}
+    key_id = report.mrenclave.hex()
+    record = table.get(key_id)
+    if record is None:
+        raise MigrationError("no escrowed key for this enclave measurement")
+    if record["released"]:
+        raise MigrationError("escrowed key was already released (single instance)")
+    record["released"] = True
+    rt.store_obj(OBJ_ESCROW, table)
+
+    private = rt.rdrand.getrandbits(256) | (1 << 255)
+    agent_dh_public = pow(MODP_2048_G, private, MODP_2048_P)
+    shared = pow(requester_dh_public, private, MODP_2048_P)
+    session_key = SymmetricKey(sha256(shared.to_bytes(256, "big")), "agent-release")
+    sealed = seal_envelope(
+        session_key,
+        pack({"kmigrate": record["kmigrate"], "sequence": record["sequence"]}),
+        rt.random_bytes(16),
+        "aes",
+        aad=b"agent-release",
+    )
+    return agent_dh_public, sealed.to_bytes()
+
+
+# ---------------------------------------------------------------------------
+# Host-side wiring
+# ---------------------------------------------------------------------------
+
+class AgentService:
+    """Host wrapper around one agent enclave on the target machine."""
+
+    def __init__(self, testbed, built_agent: BuiltImage) -> None:
+        self.tb = testbed
+        self.built = built_agent
+        self.app = HostApplication(
+            testbed.target, testbed.target_os, built_agent.image, workers=[], name="agent"
+        )
+        self.app.library.launch(owner=None)
+
+    @property
+    def mrenclave(self) -> bytes:
+        return self.built.image.mrenclave
+
+    def escrow_from(self, source_app: HostApplication) -> None:
+        """Pre-migration: source attests the agent and escrows K_migrate."""
+        tb = self.tb
+        quote, agent_pub = self.app.library.control_call(
+            agent_escrow_request, tb.target.quoting_enclave
+        )
+        tb.network.transfer("agent-escrow-request", pack({"dh": agent_pub}))
+        tb.network.transfer("ias-quote", quote.signed_body(), wan=True)
+        avr = tb.ias.verify_quote(quote)
+        source_pub, sealed = source_app.library.control_call(
+            control.source_escrow_to_agent, avr, agent_pub
+        )
+        delivered = tb.network.transfer("agent-escrow", sealed)
+        self.app.library.control_call(agent_store_escrow, source_pub, delivered)
+
+    def release_to(self, target_app: HostApplication) -> None:
+        """Post-resume: local attestation hands the key to the enclave."""
+        report, requester_pub = target_app.library.control_call(
+            control.target_request_key_from_agent, self.mrenclave
+        )
+        agent_pub, sealed = self.app.library.control_call(
+            agent_release_key, report, requester_pub
+        )
+        target_app.library.control_call(
+            control.target_install_agent_key, agent_pub, sealed
+        )

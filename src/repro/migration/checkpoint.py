@@ -1,0 +1,106 @@
+"""The enclave checkpoint: format and sealing.
+
+§IV: "At the beginning of a migration, the control thread will traverse
+the entire used memory within the boundary of the enclave and dump the
+data ... the source control thread first calculates a hash value of the
+checkpoint and then uses a randomly generated migration key (K_migrate)
+to encrypt the data together with the hash value."
+
+A checkpoint carries:
+
+* every *readable* REG page (the W+X non-readable pages of SGX v1 cannot
+  be dumped — the limitation §IV-B documents — and are listed so the
+  target knows they were skipped);
+* per-TCS thread state: the tracked CSSA (§IV-C) and the local flag;
+* identity metadata binding it to one image (code id + MRENCLAVE).
+
+Sealing is hash-then-encrypt-then-MAC via :mod:`repro.crypto.authenc`,
+under K_migrate (random, §IV) or the owner's K_encrypt (§V-C snapshots).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.authenc import Envelope, open_envelope, seal_envelope
+from repro.crypto.keys import SymmetricKey
+from repro.errors import RestoreError
+from repro.serde import pack, unpack
+
+
+@dataclass(frozen=True)
+class TcsState:
+    """Per-thread migration state."""
+
+    index: int
+    cssa: int        # the in-enclave tracked CSSA (§IV-C)
+    local_flag: int  # FLAG_FREE or FLAG_SPIN at the quiescent point
+
+
+@dataclass
+class EnclaveCheckpoint:
+    """A consistent snapshot of one enclave, ready for sealing."""
+
+    image_name: str
+    code_id: str
+    mrenclave: bytes
+    sequence: int
+    pages: dict[int, bytes] = field(default_factory=dict)
+    tcs_states: list[TcsState] = field(default_factory=list)
+    skipped_pages: list[int] = field(default_factory=list)
+
+    @property
+    def memory_bytes(self) -> int:
+        return sum(len(data) for data in self.pages.values())
+
+    def tcs_state(self, index: int) -> TcsState:
+        for state in self.tcs_states:
+            if state.index == index:
+                return state
+        raise RestoreError(f"checkpoint has no TCS state for index {index}")
+
+    def to_bytes(self) -> bytes:
+        return pack(
+            {
+                "image_name": self.image_name,
+                "code_id": self.code_id,
+                "mrenclave": self.mrenclave,
+                "sequence": self.sequence,
+                "pages": {f"{vaddr:#x}": data for vaddr, data in self.pages.items()},
+                "tcs": [
+                    {"index": s.index, "cssa": s.cssa, "flag": s.local_flag}
+                    for s in self.tcs_states
+                ],
+                "skipped": self.skipped_pages,
+            }
+        )
+
+    @staticmethod
+    def from_bytes(blob: bytes) -> "EnclaveCheckpoint":
+        fields = unpack(blob)
+        return EnclaveCheckpoint(
+            image_name=fields["image_name"],
+            code_id=fields["code_id"],
+            mrenclave=fields["mrenclave"],
+            sequence=fields["sequence"],
+            pages={int(vaddr, 16): data for vaddr, data in fields["pages"].items()},
+            tcs_states=[
+                TcsState(t["index"], t["cssa"], t["flag"]) for t in fields["tcs"]
+            ],
+            skipped_pages=list(fields["skipped"]),
+        )
+
+
+def seal_checkpoint(
+    checkpoint: EnclaveCheckpoint,
+    key: SymmetricKey,
+    nonce: bytes,
+    algorithm: str = "rc4",
+) -> Envelope:
+    """Seal a checkpoint for transfer over untrusted channels."""
+    return seal_envelope(key, checkpoint.to_bytes(), nonce, algorithm, aad=b"enclave-ckpt")
+
+
+def open_checkpoint(key: SymmetricKey, envelope: Envelope) -> EnclaveCheckpoint:
+    """Open and validate a sealed checkpoint (raises on any tampering)."""
+    return EnclaveCheckpoint.from_bytes(open_envelope(key, envelope, aad=b"enclave-ckpt"))

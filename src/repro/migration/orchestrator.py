@@ -1,0 +1,170 @@
+"""Migration orchestration: the untrusted glue between both machines.
+
+The orchestrator is the cloud operator's tooling: it moves messages, asks
+IAS for verification reports, and pokes both SGX libraries — but it is
+*outside* the TCB.  Every security-relevant decision (who gets the key,
+whether the checkpoint is intact, whether the replayed CSSA is right) is
+made inside the enclaves by :mod:`repro.sdk.control`; a hostile
+orchestrator can only cause the protocol to abort, never to leak or fork.
+
+The flow implements §III's three operations with §V's defenses:
+
+1. source control thread checkpoints (two-phase, engine-scheduled);
+2. target rebuilds a virgin enclave from the same image;
+3. attested DH channel (source attests target via IAS; target verifies
+   the source's image-key signature);
+4. checkpoint transfer, K_migrate last, source self-destroy;
+5. target restores memory, the library replays CSSA, the control thread
+   verifies and goes live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.authenc import Envelope
+from repro.errors import MigrationAborted, MigrationError
+from repro.migration.testbed import Testbed
+from repro.sdk import control
+from repro.sdk.host import HostApplication, WorkerSpec
+from repro.serde import pack, unpack
+from repro.sgx.structures import Quote
+
+
+@dataclass
+class EnclaveMigrationResult:
+    """Outcome of migrating one enclave application."""
+
+    target_app: HostApplication
+    replay_plan: dict[int, int]
+    checkpoint_bytes: int
+    transferred_bytes: int
+
+
+class MigrationOrchestrator:
+    """Drives enclave migrations across a :class:`Testbed`."""
+
+    def __init__(self, testbed: Testbed) -> None:
+        self.tb = testbed
+
+    # ------------------------------------------------------------- pieces
+    def checkpoint_enclave(self, app: HostApplication) -> None:
+        """Run the source control thread to completion (steps ③-⑤)."""
+        app.library.last_checkpoint = None
+        app.library.on_migration_signal()
+        self.tb.source_os.run_until(lambda: app.library.last_checkpoint is not None)
+
+    def build_virgin_target(self, app: HostApplication) -> HostApplication:
+        """Step-1: same image, fresh enclave, on the target machine."""
+        target_app = HostApplication(
+            self.tb.target,
+            self.tb.target_os,
+            app.image,
+            app.workers,
+            owner=None,  # no user involvement during migration (§III)
+            name=f"{app.image.name}-migrated",
+        )
+        # The host application's own memory (loop positions, results)
+        # travels with the VM RAM; mirror it onto the target instance.
+        target_app.completed_iterations = list(app.completed_iterations)
+        target_app.results = {k: list(v) for k, v in app.results.items()}
+        target_app.library.launch(owner=None)
+        return target_app
+
+    def establish_channel(self, app: HostApplication, target_app: HostApplication) -> None:
+        """Step-2: mutual authentication + DH between control threads."""
+        net = self.tb.network
+        quote, target_pub = target_app.library.control_call(
+            control.target_channel_request, self.tb.target.quoting_enclave
+        )
+        request = net.transfer(
+            "channel-request", pack({"quote": _quote_to_dict(quote), "dh": target_pub})
+        )
+        fields = unpack(request)
+        delivered_quote = _quote_from_dict(fields["quote"])
+        # The source fetches an AVR from IAS (WAN) and verifies it inside.
+        net.transfer("ias-quote", pack({"quote": _quote_to_dict(delivered_quote)}), wan=True)
+        avr = self.tb.ias.verify_quote(delivered_quote)
+        source_pub, signature = app.library.control_call(
+            control.source_open_channel, avr, fields["dh"]
+        )
+        answer = net.transfer("channel-answer", pack({"dh": source_pub, "sig": signature}))
+        answer_fields = unpack(answer)
+        target_app.library.control_call(
+            control.target_complete_channel, answer_fields["dh"], answer_fields["sig"]
+        )
+
+    def transfer_checkpoint(self, app: HostApplication) -> bytes:
+        """Ship the sealed checkpoint (the adversary sees ciphertext)."""
+        envelope = app.library.last_checkpoint.envelope
+        return self.tb.network.transfer("checkpoint", envelope.to_bytes())
+
+    def handoff_key(self, app: HostApplication, target_app: HostApplication) -> None:
+        """K_migrate moves last; the source self-destroys (§V-B)."""
+        sealed = app.library.control_call(control.source_release_key)
+        delivered = self.tb.network.transfer("kmigrate", sealed)
+        target_app.library.control_call(control.target_receive_key, delivered)
+
+    def restore(self, target_app: HostApplication, checkpoint_bytes: bytes) -> dict[int, int]:
+        """Steps 3-4 on the target: restore, replay, verify, go live."""
+        library = target_app.library
+        plan = library.control_call(control.target_restore_memory, checkpoint_bytes)
+        library.replay_cssa(plan)
+        library.control_call(control.target_verify_and_finish, checkpoint_bytes)
+        return plan
+
+    def cancel(self, app: HostApplication) -> None:
+        """Abort a migration before the key handoff; workers resume."""
+        app.library.control_call(control.source_cancel_migration)
+        app.library.last_checkpoint = None
+
+    # ------------------------------------------------------------- full flow
+    def migrate_enclave(self, app: HostApplication) -> EnclaveMigrationResult:
+        """Migrate one enclave application source → target, end to end."""
+        if app.library.last_checkpoint is None:
+            self.checkpoint_enclave(app)
+        checkpoint = app.library.last_checkpoint
+        if checkpoint is None:  # pragma: no cover - guard
+            raise MigrationError("checkpoint generation failed")
+
+        bytes_before = self.tb.network.bytes_transferred
+        target_app = self.build_virgin_target(app)
+        self.establish_channel(app, target_app)
+        delivered_checkpoint = self.transfer_checkpoint(app)
+        self.handoff_key(app, target_app)
+        try:
+            plan = self.restore(target_app, delivered_checkpoint)
+        except MigrationError:
+            # The target refused the state; with the source destroyed and
+            # K_migrate spent, this migration is dead — surface it.
+            raise
+        target_app.respawn_after_restore(plan)
+        self.tb.target_os.end_migration()
+        return EnclaveMigrationResult(
+            target_app=target_app,
+            replay_plan=plan,
+            checkpoint_bytes=checkpoint.envelope.size,
+            transferred_bytes=self.tb.network.bytes_transferred - bytes_before,
+        )
+
+
+def _quote_to_dict(quote: Quote) -> dict:
+    return {
+        "mrenclave": quote.mrenclave,
+        "mrsigner": quote.mrsigner,
+        "attributes": quote.attributes,
+        "platform_id": quote.platform_id,
+        "report_data": quote.report_data,
+        "signature": quote.signature,
+    }
+
+
+def _quote_from_dict(fields: dict) -> Quote:
+    return Quote(
+        mrenclave=fields["mrenclave"],
+        mrsigner=fields["mrsigner"],
+        attributes=fields["attributes"],
+        platform_id=fields["platform_id"],
+        report_data=fields["report_data"],
+        signature=fields["signature"],
+    )

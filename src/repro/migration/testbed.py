@@ -1,0 +1,116 @@
+"""Two-machine testbed: the paper's experimental setup in one object.
+
+Builds the source and target machines (each: SGX CPU + hypervisor + QEMU
++ one guest VM with a guest OS), the shared attestation service, the
+network, the SDK builder and an enclave owner — wired to one virtual
+clock so every experiment is deterministic and timing-consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.keys import KeyPair
+from repro.crypto.rsa import generate_rsa_keypair
+from repro.guestos.kernel import GuestOs
+from repro.hypervisor.vm import Vm
+from repro.machine import Machine
+from repro.net.network import Network
+from repro.sdk.builder import SdkBuilder
+from repro.sdk.owner import EnclaveOwner
+from repro.sgx.attestation import AttestationService
+from repro.sim.clock import VirtualClock
+from repro.sim.costs import CostModel, DEFAULT_COSTS
+from repro.sim.rng import DeterministicRng
+from repro.sim.trace import EventTrace
+
+
+@dataclass
+class Testbed:
+    """Everything a migration scenario needs."""
+
+    clock: VirtualClock
+    trace: EventTrace
+    rng: DeterministicRng
+    costs: CostModel
+    network: Network
+    ias: AttestationService
+    source: Machine
+    target: Machine
+    source_vm: Vm
+    target_vm: Vm
+    source_os: GuestOs
+    target_os: GuestOs
+    builder: SdkBuilder
+    owner: EnclaveOwner
+
+
+def build_testbed(
+    seed: int | str = 0,
+    costs: CostModel = DEFAULT_COSTS,
+    n_vcpus: int = 4,
+    memory_mb: int = 2048,
+    vepc_pages: int = 4096,
+    epc_pages: int = 16384,
+    working_set_pages: int | None = None,
+    dirty_rate_pps: int = 2_000,
+    malicious_scheduler: bool = False,
+) -> Testbed:
+    """Build the two-laptop setup of §VIII.
+
+    ``malicious_scheduler`` makes the *source* guest OS lie about
+    stopping threads (the §IV-A adversary); everything else stays honest
+    so tests can show the attack is real and the defense works.
+    """
+    clock = VirtualClock()
+    trace = EventTrace(clock)
+    rng = DeterministicRng(seed)
+    network = Network(clock, costs, trace)
+
+    ias_key = KeyPair(generate_rsa_keypair(rng.fork("ias-key")), "ias")
+    ias = AttestationService(clock, costs, ias_key)
+
+    source = Machine("source", clock, trace, rng, costs, epc_pages=epc_pages)
+    target = Machine("target", clock, trace, rng, costs, epc_pages=epc_pages)
+    source.provision(ias)
+    target.provision(ias)
+
+    source_vm = source.hypervisor.create_vm(
+        "vm-src",
+        n_vcpus=n_vcpus,
+        memory_mb=memory_mb,
+        vepc_pages=vepc_pages,
+        working_set_pages=working_set_pages,
+        dirty_rate_pps=dirty_rate_pps,
+    )
+    target_vm = target.hypervisor.create_vm(
+        "vm-tgt",
+        n_vcpus=n_vcpus,
+        memory_mb=memory_mb,
+        vepc_pages=vepc_pages,
+        working_set_pages=working_set_pages,
+        dirty_rate_pps=dirty_rate_pps,
+    )
+    source_os = GuestOs(source, source_vm, malicious_scheduler=malicious_scheduler)
+    target_os = GuestOs(target, target_vm)
+
+    vendor_key = KeyPair(generate_rsa_keypair(rng.fork("vendor-key")), "vendor")
+    builder = SdkBuilder(vendor_key, rng.fork("builder"))
+    owner = EnclaveOwner("owner", ias, clock, costs, rng.fork("owner"))
+
+    return Testbed(
+        clock=clock,
+        trace=trace,
+        rng=rng,
+        costs=costs,
+        network=network,
+        ias=ias,
+        source=source,
+        target=target,
+        source_vm=source_vm,
+        target_vm=target_vm,
+        source_os=source_os,
+        target_os=target_os,
+        builder=builder,
+        owner=owner,
+    )

@@ -1,0 +1,122 @@
+"""Whole-VM live migration with enclaves (§VI-D, Figures 10(b)-(d)).
+
+Splices the enclave path into QEMU pre-copy exactly as Figure 8 shows:
+
+①-② the monitor tells the hypervisor, which upcalls the guest OS;
+③-⑤ the guest signals each enclave process; control threads two-phase
+     checkpoint; the SGX library reports each enclave ready;
+⑥-⑦ the guest hypercalls ready and pre-copy proceeds, carrying the
+     sealed checkpoints inside ordinary RAM.
+
+On the target the guest OS rebuilds every enclave from the driver's
+records; each control thread then authenticates (channel or agent path),
+receives K_migrate, restores, replays CSSA and verifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hypervisor.qemu import MigrationReport
+from repro.migration.agent import AgentService
+from repro.migration.orchestrator import EnclaveMigrationResult, MigrationOrchestrator
+from repro.migration.testbed import Testbed
+from repro.sdk.host import HostApplication
+from repro.sim.clock import NS_PER_MS
+
+
+@dataclass
+class VmMigrationResult:
+    """Everything Figures 10(b)-(d) read off one VM migration."""
+
+    report: MigrationReport
+    enclave_results: list[EnclaveMigrationResult]
+    n_enclaves: int
+
+    @property
+    def total_ms(self) -> float:
+        return self.report.total_ms
+
+    @property
+    def downtime_ms(self) -> float:
+        return self.report.downtime_ms
+
+    @property
+    def transferred_mb(self) -> float:
+        return self.report.transferred_mb
+
+    @property
+    def restore_ms(self) -> float:
+        return self.report.restore_ns / NS_PER_MS
+
+    @property
+    def prep_ms(self) -> float:
+        return self.report.prep_ns / NS_PER_MS
+
+
+class VmMigrationManager:
+    """Migrates a whole VM, enclaves included."""
+
+    def __init__(self, testbed: Testbed, apps: list[HostApplication]) -> None:
+        self.tb = testbed
+        self.apps = apps
+        self.orchestrator = MigrationOrchestrator(testbed)
+
+    def migrate(self, agent: AgentService | None = None, **qemu_kwargs) -> VmMigrationResult:
+        """Run the full live migration of the source VM."""
+        tb = self.tb
+        enclave_results: list[EnclaveMigrationResult] = []
+
+        def prepare() -> int:
+            # Steps ①-⑥: the guest OS quiesces and checkpoints everything.
+            notify_start = tb.clock.now_ns
+            tb.source.hypervisor.upcall_migration_notify(tb.source_vm)
+            checkpoint_window_ns = tb.clock.now_ns - notify_start
+            if agent is not None:
+                # §VI-D: escrow every K_migrate ahead of the cut-over so
+                # no remote attestation sits on the resume path.  This
+                # overlaps the (long) pre-copy phase, so only the
+                # checkpointing window counts toward the downtime.
+                for app in self.apps:
+                    agent.escrow_from(app)
+            return checkpoint_window_ns
+
+        def restore() -> None:
+            orch = self.orchestrator
+            for app in self.apps:
+                bytes_before = tb.network.bytes_transferred
+                target_app = orch.build_virgin_target(app)
+                checkpoint_bytes = app.library.last_checkpoint.envelope.to_bytes()
+                if agent is not None:
+                    agent.release_to(target_app)
+                else:
+                    orch.establish_channel(app, target_app)
+                    orch.handoff_key(app, target_app)
+                plan = orch.restore(target_app, checkpoint_bytes)
+                target_app.respawn_after_restore(plan)
+                enclave_results.append(
+                    EnclaveMigrationResult(
+                        target_app=target_app,
+                        replay_plan=plan,
+                        checkpoint_bytes=app.library.last_checkpoint.envelope.size,
+                        transferred_bytes=tb.network.bytes_transferred - bytes_before,
+                    )
+                )
+            tb.target_os.end_migration()
+
+        report = tb.source.qemu.migrate(
+            tb.source_vm,
+            prepare_hook=prepare if self.apps else None,
+            restore_hook=restore if self.apps else None,
+            **qemu_kwargs,
+        )
+        return VmMigrationResult(
+            report=report,
+            enclave_results=enclave_results,
+            n_enclaves=len(self.apps),
+        )
+
+
+def migrate_plain_vm(testbed: Testbed, **qemu_kwargs) -> MigrationReport:
+    """Baseline: migrate the source VM with no enclave involvement."""
+    return testbed.source.qemu.migrate(testbed.source_vm, **qemu_kwargs)

@@ -1,0 +1,5 @@
+"""Network model: the untrusted wire between machines and services."""
+
+from repro.net.network import Network, NetworkTap
+
+__all__ = ["Network", "NetworkTap"]

@@ -1,0 +1,72 @@
+"""The untrusted network.
+
+Every byte of the migration protocol crosses this object, which charges
+transfer time to the virtual clock, counts traffic for the experiments,
+and lets tests install *taps*: adversary hooks that can observe, record,
+tamper with, or replace messages in flight.  The security tests all work
+this way — the protocol must survive an attacker who owns the wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.sim.clock import VirtualClock
+from repro.sim.costs import CostModel
+from repro.sim.trace import EventTrace
+
+#: A tap receives (label, payload) and returns the payload to deliver
+#: (possibly modified) — or None to deliver the original unchanged.
+NetworkTap = Callable[[str, bytes], bytes | None]
+
+
+@dataclass
+class TransferRecord:
+    label: str
+    n_bytes: int
+    payload: bytes
+
+
+class Network:
+    """Point-to-point links between the testbed's parties."""
+
+    def __init__(self, clock: VirtualClock, costs: CostModel, trace: EventTrace) -> None:
+        self.clock = clock
+        self.costs = costs
+        self.trace = trace
+        self._taps: list[NetworkTap] = []
+        self.log: list[TransferRecord] = []
+        self.bytes_transferred = 0
+
+    def add_tap(self, tap: NetworkTap) -> None:
+        """Install an adversary/observer hook on every transfer."""
+        self._taps.append(tap)
+
+    def clear_taps(self) -> None:
+        self._taps.clear()
+
+    def transfer(self, label: str, payload: bytes, wan: bool = False) -> bytes:
+        """Move bytes between parties; returns what actually arrives.
+
+        ``wan=True`` models the wide-area paths (owner, IAS); otherwise
+        the machine-to-machine migration link.
+        """
+        n = len(payload)
+        if wan:
+            self.clock.advance(self.costs.wan_round_trip_ns() // 2 + self.costs.net_transfer_ns(n))
+        else:
+            self.clock.advance(self.costs.net_transfer_ns(n))
+        self.bytes_transferred += n
+        self.log.append(TransferRecord(label, n, payload))
+        self.trace.emit("net", "transfer", label=label, bytes=n)
+        delivered = payload
+        for tap in self._taps:
+            replacement = tap(label, delivered)
+            if replacement is not None:
+                delivered = replacement
+        return delivered
+
+    def captured(self, label: str) -> list[bytes]:
+        """All payloads ever sent under ``label`` (the adversary's log)."""
+        return [record.payload for record in self.log if record.label == label]

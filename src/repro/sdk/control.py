@@ -1,0 +1,611 @@
+"""The control thread: in-enclave migration logic.
+
+"we introduce control thread, a new thread that runs within each enclave,
+to assist migration ... Control threads are totally transparent to enclave
+developers as long as the developers use our SDK" (§III).
+
+Everything in this module executes inside an enclave session (it is part
+of the enclave's TCB).  The untrusted SGX library merely EENTERs the
+control TCS and invokes these functions; none of them ever hands key
+material or plaintext state to the outside.
+
+Source-side ops: two-phase checkpoint generation (§IV-B), single secure
+channel with mutual authentication (§V-B), K_migrate handoff followed by
+self-destroy (§V-B), cancellation.
+
+Target-side ops: channel request, checkpoint restore, CSSA replay
+verification (§IV-C / §III step-4), and finish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.crypto.authenc import Envelope, open_envelope, seal_envelope
+from repro.crypto.dh import MODP_2048_G, MODP_2048_P
+from repro.crypto.hashes import sha256
+from repro.crypto.keys import SymmetricKey
+from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
+from repro.errors import (
+    AttestationError,
+    ChannelError,
+    CssaMismatch,
+    MigrationError,
+    RestoreError,
+    SelfDestroyed,
+)
+from repro.migration.checkpoint import (
+    EnclaveCheckpoint,
+    TcsState,
+    open_checkpoint,
+    seal_checkpoint,
+)
+from repro.sdk.image import (
+    FLAG_BUSY,
+    FLAG_FREE,
+    FLAG_SPIN,
+    OBJ_BOOT,
+    OBJ_CHANNEL,
+    OBJ_IMAGE_PRIVKEY,
+    TCS_CSSA_EENTER_OFF,
+)
+from repro.sdk.runtime import EnclaveRuntime
+from repro.serde import pack, unpack
+from repro.sgx.attestation import (
+    AttestationVerificationReport,
+    QuotingEnclave,
+    quote_for,
+    verify_avr,
+)
+from repro.sgx.structures import PAGE_SIZE, PageType, Permissions, Quote
+from repro.sim.costs import CostModel
+
+# Channel states (stored in the control block).
+CHANNEL_NONE = 0
+CHANNEL_OPEN = 1
+CHANNEL_SPENT = 2  # key handed over; the enclave has self-destroyed
+
+
+@dataclass
+class CheckpointResult:
+    """What the control thread hands back to the (untrusted) library."""
+
+    envelope: Envelope
+    memory_bytes: int
+    skipped_pages: int
+    sequence: int
+
+
+def _ensure_not_destroyed(rt: EnclaveRuntime) -> None:
+    if rt.channel_state() == CHANNEL_SPENT:
+        raise SelfDestroyed("this enclave instance handed over its state and will not run")
+
+
+def _bind_report_data(purpose: str, dh_public: int) -> bytes:
+    """Bind a DH public value into EREPORT's report_data field.
+
+    Padded to the architectural 64-byte report_data width so comparisons
+    against REPORT/QUOTE fields are exact.
+    """
+    return sha256(purpose.encode() + dh_public.to_bytes(256, "big")).ljust(64, b"\x00")
+
+
+# ---------------------------------------------------------------------------
+# Two-phase checkpoint generation (§IV-B)
+# ---------------------------------------------------------------------------
+
+def generate_checkpoint(
+    rt: EnclaveRuntime,
+    costs: CostModel,
+    algorithm: str = "rc4",
+    use_installed_key: bool = False,
+    poll_cost_ns: int = 600,
+    pages_per_step: int = 16,
+    sgx_v2: bool = False,
+) -> Iterator[int]:
+    """Two-phase checkpointing, as a cost-yielding generator.
+
+    Phase one sets the global flag and waits for every worker to reach a
+    safe state (free or spin) — *without asking the OS anything*.  Phase
+    two dumps all readable memory, derives the per-TCS tracked CSSA, and
+    seals everything under a freshly drawn K_migrate — or, when
+    ``use_installed_key`` is set, under the owner-provided K_encrypt that
+    an attested :func:`owner_key_install` placed in enclave memory (the
+    legal checkpoint/resume path of §V-C).
+
+    Returns a :class:`CheckpointResult` via ``StopIteration.value``.
+    """
+    _ensure_not_destroyed(rt)
+    image = rt.image
+    worker_indices = [t.index for t in image.tcs_templates if t.role == "worker"]
+    control_index = image.control_tcs.index
+
+    # Phase one: raise the flag, then wait for the quiescent point.
+    rt.set_global_flag(1)
+    yield 500
+    while not rt.quiescent(worker_indices):
+        yield poll_cost_ns
+
+    # Phase two: the enclave is quiescent; dump from inside.
+    if use_installed_key:
+        installed = rt.load_obj(OBJ_CHANNEL, default={}) or {}
+        if "kmigrate" not in installed:
+            raise MigrationError("no owner key installed for checkpointing")
+        kmigrate = SymmetricKey(installed["kmigrate"], "kencrypt")
+    else:
+        kmigrate = SymmetricKey(rt.random_bytes(32), "kmigrate")
+    channel = rt.load_obj(OBJ_CHANNEL, default={}) or {}
+    sequence = int(channel.get("sequence", 0)) + 1
+    channel.update({"kmigrate": kmigrate.material, "ckpt_done": True, "sequence": sequence})
+    rt.store_obj(OBJ_CHANNEL, channel)
+    yield 500
+
+    pages: dict[int, bytes] = {}
+    readable = image.readable_reg_vaddrs()
+    for start in range(0, len(readable), pages_per_step):
+        batch = readable[start : start + pages_per_step]
+        for vaddr in batch:
+            pages[vaddr] = rt.read(vaddr, PAGE_SIZE)
+        yield costs.memcpy_ns(len(batch) * PAGE_SIZE)
+    if sgx_v2:
+        # §IV-B: "this problem can be fixed in SGX v2 which supports
+        # dynamically changing page permissions" — EMODPE the W+X pages
+        # readable for the copy, then restore their permissions.
+        from repro.sgx.sgx2 import dump_unreadable_page_v2
+
+        unreadable = [
+            p.vaddr
+            for p in image.pages
+            if p.sec_info.page_type is PageType.REG and p.vaddr not in pages
+        ]
+        for vaddr in unreadable:
+            pages[vaddr] = dump_unreadable_page_v2(rt.session, vaddr)
+            yield costs.memcpy_ns(PAGE_SIZE) + 4 * costs.eextend_page_ns
+
+    tcs_states = []
+    for template in image.tcs_templates:
+        if template.index == control_index:
+            tcs_states.append(TcsState(template.index, cssa=0, local_flag=FLAG_FREE))
+            continue
+        flag = rt.local_flag(template.index)
+        cssa = rt.cssa_eenter(template.index) if flag == FLAG_SPIN else 0
+        tcs_states.append(TcsState(template.index, cssa=cssa, local_flag=flag))
+
+    skipped = [
+        p.vaddr
+        for p in image.pages
+        if p.vaddr not in pages and p.tcs_index is None
+    ]
+    checkpoint = EnclaveCheckpoint(
+        image_name=image.name,
+        code_id=image.code_id,
+        mrenclave=image.mrenclave,
+        sequence=sequence,
+        pages=pages,
+        tcs_states=tcs_states,
+        skipped_pages=skipped,
+    )
+    # Charge the hash+encrypt pipeline in slices so concurrent control
+    # threads overlap on the VCPUs instead of serializing one big step.
+    body_len = checkpoint.memory_bytes
+    crypto_ns = costs.hash_ns(body_len) + costs.cipher_ns(algorithm, body_len)
+    slices = 10
+    for _ in range(slices):
+        yield crypto_ns // slices
+    envelope = seal_checkpoint(checkpoint, kmigrate, rt.random_bytes(16), algorithm)
+    return CheckpointResult(
+        envelope=envelope,
+        memory_bytes=body_len,
+        skipped_pages=len(skipped),
+        sequence=sequence,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Boot-time provisioning (§II-A attestation, §V-B image keys)
+# ---------------------------------------------------------------------------
+
+def provision_request(rt: EnclaveRuntime, qe: QuotingEnclave) -> tuple[Quote, int]:
+    """Start owner provisioning: fresh DH half + quote binding it."""
+    rt.fresh_dh_private_store(OBJ_BOOT)
+    private = rt.load_obj(OBJ_BOOT)["dh_private"]
+    dh_public = pow(MODP_2048_G, private, MODP_2048_P)
+    quote = quote_for(rt.session, qe, _bind_report_data("provision", dh_public))
+    return quote, dh_public
+
+
+def provision_complete(rt: EnclaveRuntime, owner_dh_public: int, sealed: bytes) -> None:
+    """Finish provisioning: derive the session key, store the secrets."""
+    boot = rt.load_obj(OBJ_BOOT)
+    if boot is None:
+        raise AttestationError("no provisioning in progress")
+    shared = pow(owner_dh_public, boot["dh_private"], MODP_2048_P)
+    session_key = SymmetricKey(sha256(shared.to_bytes(256, "big")), "provision-session")
+    payload = unpack(open_envelope(session_key, Envelope.from_bytes(sealed), aad=b"provision"))
+    rt.store_obj(
+        OBJ_IMAGE_PRIVKEY,
+        {
+            "n": payload["priv_n"],
+            "e": payload["priv_e"],
+            "d": payload["priv_d"],
+            "ias_n": payload["ias_n"],
+            "ias_e": payload["ias_e"],
+            "agent_mr": payload.get("agent_mr"),
+        },
+    )
+    rt.delete_obj(OBJ_BOOT)
+    rt.set_attested()
+
+
+# ---------------------------------------------------------------------------
+# The migration secure channel (§V-B)
+# ---------------------------------------------------------------------------
+
+def owner_key_request(rt: EnclaveRuntime, qe: QuotingEnclave, purpose: str) -> tuple[Quote, int]:
+    """Generic attested key request to the enclave owner (§V-C).
+
+    Used for snapshot (get K_encrypt before checkpointing) and resume
+    (get K_encrypt back into a fresh enclave).  The owner logs every
+    grant, which is what makes rollbacks auditable.
+    """
+    rt.fresh_dh_private_store(OBJ_BOOT)
+    private = rt.load_obj(OBJ_BOOT)["dh_private"]
+    dh_public = pow(MODP_2048_G, private, MODP_2048_P)
+    quote = quote_for(rt.session, qe, _bind_report_data(purpose, dh_public))
+    return quote, dh_public
+
+
+def owner_key_install(
+    rt: EnclaveRuntime, owner_dh_public: int, sealed: bytes, purpose: str
+) -> None:
+    """Install an owner-granted key (K_encrypt) into enclave memory."""
+    boot = rt.load_obj(OBJ_BOOT)
+    if boot is None:
+        raise ChannelError("no owner key request in progress")
+    shared = pow(owner_dh_public, boot["dh_private"], MODP_2048_P)
+    session_key = SymmetricKey(sha256(shared.to_bytes(256, "big")), "owner-session")
+    payload = unpack(
+        open_envelope(session_key, Envelope.from_bytes(sealed), aad=purpose.encode())
+    )
+    channel = rt.load_obj(OBJ_CHANNEL, default={}) or {}
+    channel["kmigrate"] = payload["key"]
+    if payload.get("sequence") is not None:
+        channel["expected_sequence"] = payload["sequence"]
+    rt.store_obj(OBJ_CHANNEL, channel)
+    rt.delete_obj(OBJ_BOOT)
+
+
+def target_channel_request(rt: EnclaveRuntime, qe: QuotingEnclave) -> tuple[Quote, int]:
+    """Target side: fresh DH half + quote, sent to the source enclave."""
+    rt.fresh_dh_private_store(OBJ_BOOT)
+    private = rt.load_obj(OBJ_BOOT)["dh_private"]
+    dh_public = pow(MODP_2048_G, private, MODP_2048_P)
+    quote = quote_for(rt.session, qe, _bind_report_data("migrate-target", dh_public))
+    return quote, dh_public
+
+
+def source_open_channel(
+    rt: EnclaveRuntime,
+    avr: AttestationVerificationReport,
+    target_dh_public: int,
+) -> tuple[int, bytes]:
+    """Source side: attest the target, then answer its DH half.
+
+    The source acts as the enclave owner would at launch time (§III
+    Step-2): it checks the IAS-signed report, requires the *same
+    measurement as itself* (same image), and verifies the report binds
+    the DH value.  It will do this for exactly one target ("build only
+    one secure channel even if receiving many exchange requests").
+    """
+    _ensure_not_destroyed(rt)
+    if not rt.attested():
+        raise ChannelError("source enclave was never provisioned by its owner")
+    if rt.channel_state() != CHANNEL_NONE:
+        raise ChannelError("migration channel already established: refusing a second target")
+    secrets = rt.load_obj(OBJ_IMAGE_PRIVKEY)
+    ias_key = RsaPublicKey(secrets["ias_n"], secrets["ias_e"])
+    verify_avr(avr, ias_key, expected_mrenclave=rt.image.mrenclave)
+    if avr.report_data != _bind_report_data("migrate-target", target_dh_public):
+        raise AttestationError("target quote does not bind the offered DH value")
+
+    private = rt.rdrand.getrandbits(256) | (1 << 255)
+    source_dh_public = pow(MODP_2048_G, private, MODP_2048_P)
+    shared = pow(target_dh_public, private, MODP_2048_P)
+    session_key = sha256(shared.to_bytes(256, "big"))
+
+    # Authenticate the source to the target with the image private key
+    # (§V-B: "All the messages from the source enclave to the target
+    # enclave are encrypted by this private key").
+    image_key = RsaPrivateKey(secrets["n"], secrets["e"], secrets["d"])
+    transcript = pack(
+        {"source_pub": source_dh_public, "target_pub": target_dh_public, "purpose": "migrate"}
+    )
+    signature = image_key.sign(transcript)
+
+    channel = rt.load_obj(OBJ_CHANNEL, default={}) or {}
+    channel.update({"session_key": session_key, "role": "source"})
+    rt.store_obj(OBJ_CHANNEL, channel)
+    rt.set_channel_state(CHANNEL_OPEN)
+    return source_dh_public, signature
+
+
+def target_complete_channel(
+    rt: EnclaveRuntime, source_dh_public: int, signature: bytes
+) -> None:
+    """Target side: verify the source's signature with the embedded key.
+
+    "the target enclave can get the plaintext private key from the source
+    enclave ... the target control thread can verify the received message
+    with the public key" — the public key sits in a *measured* page of
+    the virgin image, so the untrusted stack cannot substitute it.
+    """
+    boot = rt.load_obj(OBJ_BOOT)
+    if boot is None:
+        raise ChannelError("no channel request in progress")
+    key_page = unpack(rt.read(rt.layout.key_page_vaddr, rt.layout.key_page_len))
+    image_public = RsaPublicKey(key_page["pub_n"], key_page["pub_e"])
+    private = boot["dh_private"]
+    target_dh_public = pow(MODP_2048_G, private, MODP_2048_P)
+    transcript = pack(
+        {"source_pub": source_dh_public, "target_pub": target_dh_public, "purpose": "migrate"}
+    )
+    image_public.verify(transcript, signature)  # raises SignatureError
+    shared = pow(source_dh_public, private, MODP_2048_P)
+    session_key = sha256(shared.to_bytes(256, "big"))
+    channel = rt.load_obj(OBJ_CHANNEL, default={}) or {}
+    channel.update({"session_key": session_key, "role": "target"})
+    rt.store_obj(OBJ_CHANNEL, channel)
+    rt.set_channel_state(CHANNEL_OPEN)
+    rt.delete_obj(OBJ_BOOT)
+
+
+def _session_key(rt: EnclaveRuntime) -> SymmetricKey:
+    channel = rt.load_obj(OBJ_CHANNEL, default={}) or {}
+    if "session_key" not in channel:
+        raise ChannelError("no migration channel established")
+    return SymmetricKey(channel["session_key"], "migration-session")
+
+
+# ---------------------------------------------------------------------------
+# K_migrate handoff + self-destroy (§V-B)
+# ---------------------------------------------------------------------------
+
+def source_release_key(rt: EnclaveRuntime) -> bytes:
+    """Hand K_migrate to the single attested target, then self-destroy.
+
+    "The source control thread will refuse to resume the source enclave
+    after it transfers the K_migrate ... This is done simply by keeping
+    the global flag unchanged so that all the work threads will spin
+    forever."
+    """
+    _ensure_not_destroyed(rt)
+    if rt.channel_state() != CHANNEL_OPEN:
+        raise ChannelError("cannot release K_migrate without an open channel")
+    channel = rt.load_obj(OBJ_CHANNEL)
+    if not channel.get("ckpt_done"):
+        raise MigrationError("no checkpoint was generated for this migration")
+    sealed = seal_envelope(
+        _session_key(rt),
+        pack({"kmigrate": channel["kmigrate"], "sequence": channel["sequence"]}),
+        rt.random_bytes(16),
+        "aes",
+        aad=b"kmigrate",
+    )
+    # Self-destroy: the global flag stays set forever and the channel is
+    # marked spent, so no second checkpoint, channel or key can exist.
+    rt.set_channel_state(CHANNEL_SPENT)
+    return sealed.to_bytes()
+
+
+def source_cancel_migration(rt: EnclaveRuntime) -> None:
+    """Abort before the point of no return: wipe the key, resume workers.
+
+    "If a migration is canceled, the source enclave will delete the
+    K_migrate immediately so the checkpoint will be useless."
+    """
+    if rt.channel_state() == CHANNEL_SPENT:
+        raise SelfDestroyed("cannot cancel: K_migrate was already handed over")
+    channel = rt.load_obj(OBJ_CHANNEL, default={}) or {}
+    channel.pop("kmigrate", None)
+    channel.pop("session_key", None)
+    channel["ckpt_done"] = False
+    rt.store_obj(OBJ_CHANNEL, channel)
+    rt.set_channel_state(CHANNEL_NONE)
+    rt.set_global_flag(0)  # workers leave the spin region
+
+
+def target_receive_key(rt: EnclaveRuntime, sealed: bytes) -> None:
+    """Target side: accept K_migrate over the session channel."""
+    payload = unpack(
+        open_envelope(_session_key(rt), Envelope.from_bytes(sealed), aad=b"kmigrate")
+    )
+    channel = rt.load_obj(OBJ_CHANNEL)
+    channel["kmigrate"] = payload["kmigrate"]
+    channel["expected_sequence"] = payload["sequence"]
+    rt.store_obj(OBJ_CHANNEL, channel)
+
+
+# ---------------------------------------------------------------------------
+# Agent-enclave paths (§VI-D optimization)
+# ---------------------------------------------------------------------------
+
+def source_escrow_to_agent(
+    rt: EnclaveRuntime,
+    avr: AttestationVerificationReport,
+    agent_dh_public: int,
+) -> tuple[int, bytes]:
+    """Escrow K_migrate to the remote agent enclave, then self-destroy.
+
+    "the source control thread first remotely attests the agent enclave
+    on the target machine and then transfers the K_migrate to it in
+    advance" (§VI-D).  The agent's measurement was provisioned by the
+    owner, so the source knows exactly which enclave it may trust.
+    """
+    _ensure_not_destroyed(rt)
+    if not rt.attested():
+        raise ChannelError("source enclave was never provisioned by its owner")
+    if rt.channel_state() != CHANNEL_NONE:
+        raise ChannelError("migration channel already established")
+    secrets = rt.load_obj(OBJ_IMAGE_PRIVKEY)
+    agent_mr = secrets.get("agent_mr")
+    if agent_mr is None:
+        raise ChannelError("owner provisioned no agent enclave measurement")
+    ias_key = RsaPublicKey(secrets["ias_n"], secrets["ias_e"])
+    verify_avr(avr, ias_key, expected_mrenclave=agent_mr)
+    if avr.report_data != _bind_report_data("agent-escrow", agent_dh_public):
+        raise AttestationError("agent quote does not bind the offered DH value")
+    channel = rt.load_obj(OBJ_CHANNEL, default={}) or {}
+    if not channel.get("ckpt_done"):
+        raise MigrationError("no checkpoint was generated for this migration")
+
+    private = rt.rdrand.getrandbits(256) | (1 << 255)
+    source_dh_public = pow(MODP_2048_G, private, MODP_2048_P)
+    shared = pow(agent_dh_public, private, MODP_2048_P)
+    session_key = SymmetricKey(sha256(shared.to_bytes(256, "big")), "agent-escrow")
+    sealed = seal_envelope(
+        session_key,
+        pack(
+            {
+                "kmigrate": channel["kmigrate"],
+                "sequence": channel["sequence"],
+                "target_mr": rt.image.mrenclave,
+            }
+        ),
+        rt.random_bytes(16),
+        "aes",
+        aad=b"agent-escrow",
+    )
+    # Point of no return: the key has left this instance.
+    rt.set_channel_state(CHANNEL_SPENT)
+    return source_dh_public, sealed.to_bytes()
+
+
+def target_request_key_from_agent(rt: EnclaveRuntime, agent_mrenclave: bytes):
+    """Target side: local-attested key request to the agent enclave.
+
+    Returns (report, dh_public): an EREPORT addressed to the agent on
+    the same CPU, binding a fresh DH half.
+    """
+    from repro.sgx.instructions import ereport
+    from repro.sgx.structures import TargetInfo
+
+    rt.fresh_dh_private_store(OBJ_BOOT)
+    private = rt.load_obj(OBJ_BOOT)["dh_private"]
+    dh_public = pow(MODP_2048_G, private, MODP_2048_P)
+    report = ereport(
+        rt.session,
+        TargetInfo(agent_mrenclave),
+        _bind_report_data("agent-release", dh_public),
+    )
+    return report, dh_public
+
+
+def target_install_agent_key(
+    rt: EnclaveRuntime, agent_dh_public: int, sealed: bytes
+) -> None:
+    """Target side: install K_migrate received from the agent."""
+    boot = rt.load_obj(OBJ_BOOT)
+    if boot is None:
+        raise ChannelError("no agent key request in progress")
+    shared = pow(agent_dh_public, boot["dh_private"], MODP_2048_P)
+    session_key = SymmetricKey(sha256(shared.to_bytes(256, "big")), "agent-release")
+    payload = unpack(
+        open_envelope(session_key, Envelope.from_bytes(sealed), aad=b"agent-release")
+    )
+    channel = rt.load_obj(OBJ_CHANNEL, default={}) or {}
+    channel["kmigrate"] = payload["kmigrate"]
+    channel["expected_sequence"] = payload["sequence"]
+    rt.store_obj(OBJ_CHANNEL, channel)
+    rt.delete_obj(OBJ_BOOT)
+
+
+# ---------------------------------------------------------------------------
+# Target restore (§III steps 3-4)
+# ---------------------------------------------------------------------------
+
+def target_restore_memory(rt: EnclaveRuntime, sealed_checkpoint: bytes) -> dict[int, int]:
+    """Step-3a: decrypt the checkpoint and restore all memory.
+
+    Returns the CSSA replay plan {tcs_index: target CSSA} the untrusted
+    library must now execute with EENTER/AEX; the enclave will *verify*
+    the library actually did it (step-4) before going live.
+    """
+    channel = rt.load_obj(OBJ_CHANNEL, default={}) or {}
+    if "kmigrate" not in channel:
+        raise RestoreError("K_migrate has not arrived")
+    kmigrate = SymmetricKey(channel["kmigrate"], "kmigrate")
+    checkpoint = open_checkpoint(kmigrate, Envelope.from_bytes(sealed_checkpoint))
+    if checkpoint.code_id != rt.image.code_id or checkpoint.mrenclave != rt.image.mrenclave:
+        raise RestoreError("checkpoint was taken from a different image")
+    if checkpoint.sequence != channel.get("expected_sequence"):
+        raise RestoreError("checkpoint sequence does not match the delivered key")
+
+    writable = {
+        p.vaddr
+        for p in rt.image.pages
+        if Permissions.W in p.sec_info.permissions
+    }
+    for vaddr, data in checkpoint.pages.items():
+        if vaddr in writable:
+            rt.write(vaddr, data)
+        elif rt.read(vaddr, len(data)) != data:
+            # Read-only pages (code, embedded keys) are measured into the
+            # image; the virgin enclave must already hold identical bytes.
+            raise RestoreError(f"immutable page 0x{vaddr:x} differs from the image")
+    # Enter restore mode: replayed EENTERs are counted, not executed.
+    rt.set_restore_mode(1)
+    for template in rt.image.tcs_templates:
+        rt.set_replay_count(template.index, 0)
+    return {
+        state.index: state.cssa
+        for state in checkpoint.tcs_states
+        if state.cssa > 0
+    }
+
+
+def target_verify_and_finish(rt: EnclaveRuntime, sealed_checkpoint: bytes) -> None:
+    """Step-4: check the tracked CSSA against the checkpoint, go live.
+
+    "before resuming execution, the target control thread will check
+    whether the tracked CSSA is the same as the one in the checkpoint."
+    A lying SGX library (wrong replay count) is caught here and the
+    enclave refuses to run.
+    """
+    channel = rt.load_obj(OBJ_CHANNEL)
+    kmigrate = SymmetricKey(channel["kmigrate"], "kmigrate")
+    checkpoint = open_checkpoint(kmigrate, Envelope.from_bytes(sealed_checkpoint))
+    control_index = rt.image.control_tcs.index
+
+    for state in checkpoint.tcs_states:
+        if state.index == control_index:
+            continue
+        replays = rt.replay_count(state.index)
+        if replays != state.cssa:
+            raise CssaMismatch(
+                f"TCS {state.index}: library replayed CSSA to {replays}, "
+                f"checkpoint requires {state.cssa}"
+            )
+        if state.cssa > 0 and rt.cssa_eenter(state.index) != state.cssa - 1:
+            raise CssaMismatch(
+                f"TCS {state.index}: tracked CSSA_EENTER "
+                f"{rt.cssa_eenter(state.index)} != {state.cssa - 1}"
+            )
+
+    # The replay's dummy AEX frames clobbered the restored SSA pages;
+    # rewrite them (and the bookkeeping records) from the checkpoint.
+    for template in rt.image.tcs_templates:
+        for frame in range(template.nssa):
+            vaddr = template.ossa + frame * PAGE_SIZE
+            if vaddr in checkpoint.pages:
+                rt.write(vaddr, checkpoint.pages[vaddr])
+        state = checkpoint.tcs_state(template.index)
+        if template.index != control_index:
+            rt.set_local_flag(
+                template.index, FLAG_BUSY if state.cssa > 0 else FLAG_FREE
+            )
+            record = rt.layout.tcs_record_vaddr(template.index, TCS_CSSA_EENTER_OFF)
+            rt.store_u64(record, state.cssa)
+
+    rt.set_restore_mode(0)
+    rt.set_global_flag(0)  # end of migration: workers may run

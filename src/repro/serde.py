@@ -1,0 +1,77 @@
+"""Canonical serialization for simulated hardware state.
+
+SSA frames, checkpoint payloads and channel messages must be *bytes* —
+they live in (simulated) memory pages, are hashed, encrypted and shipped
+over the network.  This module converts the restricted value universe we
+allow in execution contexts (None, bool, int, str, bytes, lists, dicts
+with string keys) to and from a canonical, deterministic byte encoding
+built on JSON with explicit type tags.
+
+Determinism matters: MRENCLAVE and checkpoint hashes must be stable across
+runs, so dict keys are sorted and bytes are hex-tagged rather than relying
+on repr or pickle (which would also be a deserialization hazard for data
+arriving from untrusted components).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import ReproError
+
+
+class SerdeError(ReproError):
+    """A value outside the canonical universe was (de)serialized."""
+
+
+_BYTES_TAG = "__bytes__"
+_TUPLE_TAG = "__tuple__"
+
+
+def _encode(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        raise SerdeError("floats are not allowed in hardware state (non-deterministic)")
+    if isinstance(value, (bytes, bytearray)):
+        return {_BYTES_TAG: bytes(value).hex()}
+    if isinstance(value, tuple):
+        return {_TUPLE_TAG: [_encode(v) for v in value]}
+    if isinstance(value, list):
+        return [_encode(v) for v in value]
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise SerdeError(f"dict keys must be str, got {type(key).__name__}")
+            if key in (_BYTES_TAG, _TUPLE_TAG):
+                raise SerdeError(f"reserved key {key!r} in payload")
+            out[key] = _encode(item)
+        return out
+    raise SerdeError(f"cannot serialize {type(value).__name__}")
+
+
+def _decode(value: Any) -> Any:
+    if isinstance(value, list):
+        return [_decode(v) for v in value]
+    if isinstance(value, dict):
+        if set(value.keys()) == {_BYTES_TAG}:
+            return bytes.fromhex(value[_BYTES_TAG])
+        if set(value.keys()) == {_TUPLE_TAG}:
+            return tuple(_decode(v) for v in value[_TUPLE_TAG])
+        return {k: _decode(v) for k, v in value.items()}
+    return value
+
+
+def pack(value: Any) -> bytes:
+    """Serialize ``value`` to canonical bytes."""
+    return json.dumps(_encode(value), sort_keys=True, separators=(",", ":")).encode()
+
+
+def unpack(data: bytes) -> Any:
+    """Deserialize bytes produced by :func:`pack`."""
+    try:
+        return _decode(json.loads(data.decode()))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise SerdeError(f"malformed canonical payload: {exc}") from exc

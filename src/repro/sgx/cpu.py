@@ -1,0 +1,199 @@
+"""The SGX-capable CPU package and the enclave-mode capability.
+
+:class:`SgxCpu` owns the key material that never leaves a processor
+(page-encryption key, report-key root, seal-key root), the EPC, and the
+table of live enclaves.  :class:`EnclaveSession` is the *only* way any
+code in this repository reads or writes enclave memory: it is created by
+EENTER/ERESUME, dies at EEXIT/AEX, and enforces page permissions — the
+software embodiment of "accesses to the enclave memory area from any
+software not resident in the enclave are forbidden" (§II-A).
+"""
+
+from __future__ import annotations
+
+import itertools
+import struct
+from contextlib import contextmanager
+from typing import TYPE_CHECKING
+
+from repro.crypto.hashes import hmac_sha256
+from repro.crypto.keys import SymmetricKey
+from repro.errors import SgxAccessFault, SgxInstructionFault
+from repro.sgx.enclave import EnclaveHw
+from repro.sgx.epc import Epc
+from repro.sgx.mee import MemoryEncryptionEngine
+from repro.sgx.structures import Permissions, Tcs
+from repro.sim.clock import VirtualClock
+from repro.sim.costs import CostModel
+from repro.sim.rng import DeterministicRng
+from repro.sim.trace import EventTrace
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+
+class SgxCpu:
+    """One physical CPU package with SGX."""
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        name: str,
+        clock: VirtualClock,
+        costs: CostModel,
+        trace: EventTrace,
+        rng: DeterministicRng,
+        epc_pages: int = 4096,
+    ) -> None:
+        self.name = name
+        self.clock = clock
+        self.costs = costs
+        self.trace = trace
+        self.rng = rng
+        self.cpu_id = struct.pack(">I", next(self._ids)) + rng.bytes(12)
+        self.platform_id = rng.bytes(16)
+        self.epc = Epc(epc_pages)
+        # Root key material fused into the package at "manufacturing".
+        self._root_key = SymmetricKey.random(rng, f"{name}/root")
+        self._page_encryption_key = self._root_key.derive("page-encryption")
+        self._report_root = self._root_key.derive("report-root")
+        self._seal_root = self._root_key.derive("seal-root")
+        self.mee = MemoryEncryptionEngine(self._page_encryption_key)
+        self.enclaves: dict[int, EnclaveHw] = {}
+        self._next_eid = itertools.count(1)
+        self._version_counter = itertools.count(1)
+        self.aex_count = 0
+        self._charge_collector: list[int] | None = None
+
+    # ------------------------------------------------------------ bookkeeping
+    def new_eid(self) -> int:
+        return next(self._next_eid)
+
+    def next_version(self) -> int:
+        return next(self._version_counter)
+
+    def enclave(self, eid: int) -> EnclaveHw:
+        enclave = self.enclaves.get(eid)
+        if enclave is None:
+            raise SgxInstructionFault(f"no enclave with eid {eid} on {self.name}")
+        return enclave
+
+    # ------------------------------------------------------------ key derivation
+    # These are hardware-internal: only instructions (EGETKEY / EREPORT)
+    # and the MEE reach them, always scoped to an identity.
+    def _report_key_for(self, mrenclave: bytes) -> bytes:
+        return hmac_sha256(self._report_root.material, b"report" + mrenclave)
+
+    def _seal_key_for(self, identity: bytes) -> bytes:
+        return hmac_sha256(self._seal_root.material, b"seal" + identity)
+
+    def charge(self, cost_ns: int) -> None:
+        """Charge modelled time for an instruction on this CPU.
+
+        Inside a :meth:`collect_charges` block the cost is accumulated for
+        the enclosing scheduler thread to yield (so concurrent threads'
+        instruction time overlaps correctly) instead of advancing the
+        global clock serially.
+        """
+        if self._charge_collector is not None:
+            self._charge_collector[0] += cost_ns
+        else:
+            self.clock.advance(cost_ns)
+
+    @contextmanager
+    def collect_charges(self):
+        """Accumulate instruction charges instead of advancing the clock.
+
+        Yields a one-element list whose single entry is the total ns
+        charged inside the block.
+        """
+        saved = self._charge_collector
+        box = [0]
+        self._charge_collector = box
+        try:
+            yield box
+        finally:
+            self._charge_collector = saved
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SgxCpu {self.name} enclaves={len(self.enclaves)}>"
+
+
+class EnclaveSession:
+    """A logical processor executing inside an enclave.
+
+    Created by EENTER (``entered_via='eenter'``, with ``rax`` carrying the
+    CSSA value as the instruction's return value — the hook §IV-C's
+    tracking builds on) or by ERESUME.  All reads and writes check the
+    EPCM permissions of the touched pages; a closed session (after EEXIT
+    or AEX) faults on any use.
+    """
+
+    def __init__(
+        self,
+        cpu: SgxCpu,
+        enclave: EnclaveHw,
+        tcs: Tcs,
+        aep: object,
+        rax: int,
+        entered_via: str,
+    ) -> None:
+        self.cpu = cpu
+        self.enclave = enclave
+        self.tcs = tcs
+        self.aep = aep
+        self.rax = rax
+        self.entered_via = entered_via
+        self._open = True
+
+    # ------------------------------------------------------------- state
+    @property
+    def open(self) -> bool:
+        return self._open
+
+    def _close(self) -> None:
+        self._open = False
+
+    def _require_open(self) -> None:
+        if not self._open:
+            raise SgxAccessFault("enclave session is closed (after EEXIT/AEX)")
+
+    # ------------------------------------------------------------- memory
+    def _check_pages(self, vaddr: int, n: int, needed: Permissions) -> None:
+        from repro.sgx.structures import PAGE_SIZE  # local to avoid cycle noise
+
+        first = vaddr - (vaddr % PAGE_SIZE)
+        last = (vaddr + max(n, 1) - 1) - ((vaddr + max(n, 1) - 1) % PAGE_SIZE)
+        for page in range(first, last + 1, PAGE_SIZE):
+            perms = self.enclave.page_permissions(page)
+            if needed not in perms:
+                raise SgxAccessFault(
+                    f"page 0x{page:x} lacks {needed} permission (has {perms})"
+                )
+
+    def read(self, vaddr: int, n: int) -> bytes:
+        """Read enclave memory (requires R permission on touched pages)."""
+        self._require_open()
+        if not self.enclave.contains(vaddr):
+            raise SgxAccessFault(f"0x{vaddr:x} is outside the enclave range")
+        self._check_pages(vaddr, n, Permissions.R)
+        return self.enclave.hw_read(vaddr, n)
+
+    def write(self, vaddr: int, data: bytes) -> None:
+        """Write enclave memory (requires W permission on touched pages)."""
+        self._require_open()
+        if not self.enclave.contains(vaddr):
+            raise SgxAccessFault(f"0x{vaddr:x} is outside the enclave range")
+        self._check_pages(vaddr, len(data), Permissions.W)
+        self.enclave.hw_write(vaddr, data)
+
+    def read_u64(self, vaddr: int) -> int:
+        return struct.unpack("<Q", self.read(vaddr, 8))[0]
+
+    def write_u64(self, vaddr: int, value: int) -> None:
+        self.write(vaddr, struct.pack("<Q", value))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self._open else "closed"
+        return f"<EnclaveSession eid={self.enclave.eid} tcs=0x{self.tcs.vaddr:x} {state}>"

@@ -1,0 +1,88 @@
+"""Memory Encryption Engine (MEE) and the page-sealing path of EWB.
+
+"EWB encrypts a page in the EPC and writes it to unprotected memory ...
+the evicted pages are encrypted by Page Encryption Key, which is unique
+for each CPU and will never be retrieved outside the CPU" (§II-A).
+
+The sealing key here is real key material held by the CPU object and
+never exposed through any public API; pages sealed on one CPU genuinely
+fail the MAC check on another.  This is the hardware fact that makes
+naive checkpoint-based enclave migration impossible and motivates the
+paper's software protocol.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import Aes128
+from repro.crypto.hashes import constant_time_equal, hmac_sha256
+from repro.crypto.keys import SymmetricKey
+from repro.crypto.modes import ctr_process
+from repro.errors import SgxMacMismatch
+from repro.sgx.structures import EvictedPage, PageType, Permissions
+
+
+class MemoryEncryptionEngine:
+    """Seals and unseals EPC pages under a CPU-unique key."""
+
+    def __init__(self, page_encryption_key: SymmetricKey) -> None:
+        self._enc_key = page_encryption_key.derive("page-enc")
+        self._mac_key = page_encryption_key.derive("page-mac")
+
+    def _nonce(self, eid: int, vaddr: int, version: int) -> bytes:
+        return eid.to_bytes(4, "big") + version.to_bytes(4, "big")
+
+    def _aad(self, eid: int, vaddr: int, page_type: PageType, version: int) -> bytes:
+        return (
+            eid.to_bytes(8, "big")
+            + vaddr.to_bytes(8, "big")
+            + page_type.value.encode()
+            + version.to_bytes(8, "big")
+        )
+
+    def seal_page(
+        self,
+        plaintext: bytes,
+        eid: int,
+        vaddr: int,
+        page_type: PageType,
+        permissions: Permissions,
+        version: int,
+    ) -> EvictedPage:
+        """Produce the sealed image EWB writes to normal memory."""
+        cipher = Aes128(self._enc_key.material[:16])
+        ciphertext = ctr_process(cipher, self._nonce(eid, vaddr, version), plaintext)
+        mac = hmac_sha256(
+            self._mac_key.material, self._aad(eid, vaddr, page_type, version) + ciphertext
+        )
+        return EvictedPage(
+            eid=eid,
+            vaddr=vaddr,
+            page_type=page_type,
+            permissions=permissions,
+            ciphertext=ciphertext,
+            mac=mac,
+            version=version,
+        )
+
+    def unseal_page(self, evicted: EvictedPage, expected_version: int) -> bytes:
+        """Verify and decrypt a sealed page (the ELDB path).
+
+        Raises :class:`SgxMacMismatch` if the blob was sealed by a
+        different CPU, tampered with, or carries the wrong version — the
+        "data, version and MAC must match" rule of §II-A.
+        """
+        if evicted.version != expected_version:
+            raise SgxMacMismatch(
+                f"version mismatch: blob={evicted.version} VA slot={expected_version}"
+            )
+        expected_mac = hmac_sha256(
+            self._mac_key.material,
+            self._aad(evicted.eid, evicted.vaddr, evicted.page_type, evicted.version)
+            + evicted.ciphertext,
+        )
+        if not constant_time_equal(expected_mac, evicted.mac):
+            raise SgxMacMismatch("evicted page MAC check failed (wrong CPU or tampering)")
+        cipher = Aes128(self._enc_key.material[:16])
+        return ctr_process(
+            cipher, self._nonce(evicted.eid, evicted.vaddr, evicted.version), evicted.ciphertext
+        )

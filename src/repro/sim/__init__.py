@@ -1,0 +1,25 @@
+"""Simulation substrate: virtual time, cost model, cooperative scheduler.
+
+Everything in the reproduction that claims a duration charges it to a
+:class:`~repro.sim.clock.VirtualClock` using constants from
+:class:`~repro.sim.costs.CostModel`.  Interleaved execution (the quiescence
+protocol, the data-consistency attack) runs on the round-robin
+:class:`~repro.sim.engine.Engine`, which models VCPU contention.
+"""
+
+from repro.sim.clock import Stopwatch, VirtualClock
+from repro.sim.costs import CostModel
+from repro.sim.engine import Engine, SimThread, ThreadState
+from repro.sim.rng import DeterministicRng
+from repro.sim.trace import EventTrace
+
+__all__ = [
+    "CostModel",
+    "DeterministicRng",
+    "Engine",
+    "EventTrace",
+    "SimThread",
+    "Stopwatch",
+    "ThreadState",
+    "VirtualClock",
+]

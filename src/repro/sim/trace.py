@@ -1,0 +1,80 @@
+"""Structured event tracing and metric counters.
+
+The experiments assert on traces ("the source enclave never resumed after
+self-destroy", "K_migrate was transferred exactly once") and the benchmark
+harness reads metrics ("bytes on the wire", "downtime window") out of them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.sim.clock import VirtualClock
+
+
+@dataclass(frozen=True)
+class Event:
+    """One traced event at a point in virtual time."""
+
+    t_ns: int
+    category: str
+    name: str
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"[{self.t_ns / 1000:.1f}us] {self.category}.{self.name} {self.payload}"
+
+
+class EventTrace:
+    """An append-only trace of events plus named numeric counters."""
+
+    def __init__(self, clock: VirtualClock) -> None:
+        self._clock = clock
+        self._events: list[Event] = []
+        self._counters: Counter[str] = Counter()
+
+    # ---------------------------------------------------------------- record
+    def emit(self, category: str, name: str, /, **payload: Any) -> Event:
+        """Record an event at the current virtual time."""
+        event = Event(self._clock.now_ns, category, name, payload)
+        self._events.append(event)
+        return event
+
+    def count(self, counter: str, delta: int = 1) -> None:
+        """Add ``delta`` to the named counter."""
+        self._counters[counter] += delta
+
+    # ---------------------------------------------------------------- query
+    @property
+    def events(self) -> list[Event]:
+        return list(self._events)
+
+    def counter(self, name: str) -> int:
+        return self._counters[name]
+
+    def select(self, category: str | None = None, name: str | None = None) -> Iterator[Event]:
+        """Iterate events matching the given category and/or name."""
+        for event in self._events:
+            if category is not None and event.category != category:
+                continue
+            if name is not None and event.name != name:
+                continue
+            yield event
+
+    def first(self, category: str | None = None, name: str | None = None) -> Event | None:
+        return next(self.select(category, name), None)
+
+    def last(self, category: str | None = None, name: str | None = None) -> Event | None:
+        found = None
+        for event in self.select(category, name):
+            found = event
+        return found
+
+    def count_of(self, category: str | None = None, name: str | None = None) -> int:
+        return sum(1 for _ in self.select(category, name))
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._counters.clear()

@@ -1,0 +1,33 @@
+"""Benchmark and demonstration workloads.
+
+* :mod:`repro.workloads.nbench`     — the nine nbench 2.2.3 kernels the
+  paper runs in-enclave for Figure 9(a).
+* :mod:`repro.workloads.apps`       — the des/cr4/mcrypt/gnupg/libjpeg/
+  libzip-style applications of Figure 9(b).
+* :mod:`repro.workloads.bank`       — the two-account transfer enclave of
+  the §IV-A consistency attack (Figure 3).
+* :mod:`repro.workloads.mailserver` — the mail server of the §V-A fork
+  attack (Figure 6).
+* :mod:`repro.workloads.authserver` — the password server of the §V-A
+  rollback attack.
+* :mod:`repro.workloads.memcached`  — the memcached-style KV store of
+  Figure 11.
+"""
+
+from repro.workloads.apps import build_app_image, APP_NAMES
+from repro.workloads.authserver import build_authserver_image
+from repro.workloads.bank import build_bank_image
+from repro.workloads.mailserver import build_mailserver_image
+from repro.workloads.memcached import build_memcached_image
+from repro.workloads.nbench import NBENCH_KERNELS, build_nbench_image
+
+__all__ = [
+    "APP_NAMES",
+    "NBENCH_KERNELS",
+    "build_app_image",
+    "build_authserver_image",
+    "build_bank_image",
+    "build_mailserver_image",
+    "build_memcached_image",
+    "build_nbench_image",
+]

@@ -1,0 +1,84 @@
+"""The password server of the §V-A rollback attack.
+
+"a mail server running in an enclave requires a client to enter a
+password for authentication.  To mitigate brute-force attacks, the server
+sets a policy that a client can make at most three failed attempts."
+
+The failed-attempt counter lives in enclave memory.  A rollback attack
+restores an old checkpoint to reset the counter and keep guessing; the
+owner-keyed snapshot scheme (§V-C) makes every restore auditable.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hashes import sha256
+from repro.sdk.builder import BuiltImage, SdkBuilder
+from repro.sdk.program import AtomicEntry, EnclaveProgram
+from repro.sdk.runtime import EnclaveRuntime
+
+AUTH_STATE = "auth_state"
+MAX_ATTEMPTS = 3
+
+
+def _state(rt: EnclaveRuntime) -> dict:
+    return rt.load_obj(AUTH_STATE, default=None)
+
+
+def _setup(rt: EnclaveRuntime, args) -> dict:
+    rt.store_obj(
+        AUTH_STATE,
+        {
+            "password_hash": sha256(args["password"].encode()),
+            "failed_attempts": 0,
+            "locked": False,
+            "alarms": 0,
+        },
+    )
+    return {"ok": True}
+
+
+def _try_password(rt: EnclaveRuntime, args) -> dict:
+    state = _state(rt)
+    if state is None:
+        return {"ok": False, "error": "not set up"}
+    if state["locked"]:
+        state["alarms"] += 1
+        rt.store_obj(AUTH_STATE, state)
+        return {"ok": False, "locked": True, "alarm": True}
+    if sha256(args["password"].encode()) == state["password_hash"]:
+        state["failed_attempts"] = 0
+        rt.store_obj(AUTH_STATE, state)
+        return {"ok": True, "authenticated": True}
+    state["failed_attempts"] += 1
+    if state["failed_attempts"] >= MAX_ATTEMPTS:
+        state["locked"] = True
+        state["alarms"] += 1
+    rt.store_obj(AUTH_STATE, state)
+    return {
+        "ok": True,
+        "authenticated": False,
+        "remaining": max(0, MAX_ATTEMPTS - state["failed_attempts"]),
+        "locked": state["locked"],
+    }
+
+
+def _status(rt: EnclaveRuntime, args) -> dict:
+    state = _state(rt) or {}
+    return {
+        "failed_attempts": state.get("failed_attempts"),
+        "locked": state.get("locked"),
+        "alarms": state.get("alarms"),
+    }
+
+
+def build_authserver_image(builder: SdkBuilder) -> BuiltImage:
+    program = EnclaveProgram("repro/authserver-v1")
+    program.add_entry("setup", AtomicEntry(_setup))
+    program.add_entry("try_password", AtomicEntry(_try_password))
+    program.add_entry("status", AtomicEntry(_status, cost_ns=2_000))
+    return builder.build(
+        "authserver",
+        program,
+        n_workers=2,
+        data_objects={AUTH_STATE: 4096},
+    )

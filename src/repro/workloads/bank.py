@@ -1,0 +1,80 @@
+"""The two-account bank enclave of the §IV-A consistency attack (Fig. 3).
+
+A worker thread repeatedly moves money between two accounts that live on
+*different* enclave pages, with a preemption point between the debit and
+the credit.  The invariant is ``A + B == TOTAL``.  A checkpointer that
+trusts the OS to stop threads can dump A before a transfer and B after
+it; the two-phase scheme cannot.
+"""
+
+from __future__ import annotations
+
+from repro.sdk.builder import BuiltImage, SdkBuilder
+from repro.sdk.program import AtomicEntry, EnclaveProgram, ResumableEntry
+from repro.sdk.runtime import EnclaveRuntime
+
+TOTAL = 5000
+
+#: The two balances live in separate data objects so they are on
+#: different pages — the naive dump reads them in different steps.
+ACCOUNT_A = "account_a"
+ACCOUNT_B = "account_b"
+
+
+def _balance(rt: EnclaveRuntime, account: str) -> int:
+    vaddr, _ = rt.layout.object_slot(account)
+    return rt.load_u64(vaddr + 8)
+
+
+def _set_balance(rt: EnclaveRuntime, account: str, value: int) -> None:
+    vaddr, _ = rt.layout.object_slot(account)
+    rt.store_u64(vaddr + 8, value)
+
+
+def _init(rt: EnclaveRuntime, args) -> int:
+    _set_balance(rt, ACCOUNT_A, TOTAL)
+    _set_balance(rt, ACCOUNT_B, 0)
+    return TOTAL
+
+
+def _balances(rt: EnclaveRuntime, args) -> dict:
+    return {"a": _balance(rt, ACCOUNT_A), "b": _balance(rt, ACCOUNT_B)}
+
+
+def _prepare_transfers(rt: EnclaveRuntime, args) -> dict:
+    if isinstance(args, dict):
+        return {"rounds": int(args.get("rounds", 1)), "amount": int(args.get("amount", 100)), "done": 0}
+    return {"rounds": int(args or 1), "amount": 100, "done": 0}
+
+
+def _debit_step(rt: EnclaveRuntime, regs) -> None:
+    _set_balance(rt, ACCOUNT_A, _balance(rt, ACCOUNT_A) - regs["amount"])
+
+
+def _credit_step(rt: EnclaveRuntime, regs) -> None:
+    _set_balance(rt, ACCOUNT_B, _balance(rt, ACCOUNT_B) + regs["amount"])
+    regs["done"] += 1
+    if regs["done"] < regs["rounds"] and regs["done"] * regs["amount"] < TOTAL:
+        regs["__pc"] = -1  # loop back to the debit step
+    else:
+        regs["result"] = regs["done"]
+
+
+def build_bank_image(builder: SdkBuilder) -> BuiltImage:
+    program = EnclaveProgram("repro/bank-v1")
+    program.add_entry("init", AtomicEntry(_init))
+    program.add_entry("balances", AtomicEntry(_balances, cost_ns=2_000))
+    program.add_entry(
+        "transfer",
+        ResumableEntry(prepare=_prepare_transfers, steps=(_debit_step, _credit_step)),
+    )
+    # The ledger filler puts many pages between the two balances, so a
+    # page-by-page dump reads A long before B — a wide race window for
+    # the §IV-A adversary (real enclaves have exactly this property:
+    # related state scattered across a large heap).
+    return builder.build(
+        "bank",
+        program,
+        n_workers=2,
+        data_objects={ACCOUNT_A: 4096, "ledger_filler": 24 * 4096, ACCOUNT_B: 4096},
+    )

@@ -1,0 +1,77 @@
+"""The mail server of the §V-A fork attack (Figure 6).
+
+State machine inside the enclave: a draft mail with a recipient list.
+The client performs ① create (recipients include Eve), ② delete Eve,
+③ send — waiting for each acknowledgment.  If a malicious operator can
+run *two* live instances from one intermediate state, instance two never
+sees operation ② and the mail goes to Eve.
+"""
+
+from __future__ import annotations
+
+from repro.sdk.builder import BuiltImage, SdkBuilder
+from repro.sdk.program import AtomicEntry, EnclaveProgram
+from repro.sdk.runtime import EnclaveRuntime
+
+MAILBOX = "mailbox"
+
+
+def _load_box(rt: EnclaveRuntime) -> dict:
+    return rt.load_obj(MAILBOX, default={"mails": [], "sent": []}) or {
+        "mails": [],
+        "sent": [],
+    }
+
+
+def _create_mail(rt: EnclaveRuntime, args) -> dict:
+    box = _load_box(rt)
+    mail = {
+        "recipients": list(args["recipients"]),
+        "content": args["content"],
+        "status": "draft",
+    }
+    box["mails"].append(mail)
+    rt.store_obj(MAILBOX, box)
+    return {"ok": True, "mail_id": len(box["mails"]) - 1}
+
+
+def _delete_recipient(rt: EnclaveRuntime, args) -> dict:
+    box = _load_box(rt)
+    mail = box["mails"][args["mail_id"]]
+    if args["recipient"] in mail["recipients"]:
+        mail["recipients"].remove(args["recipient"])
+    rt.store_obj(MAILBOX, box)
+    return {"ok": True, "recipients": list(mail["recipients"])}
+
+
+def _send_mail(rt: EnclaveRuntime, args) -> dict:
+    box = _load_box(rt)
+    mail = box["mails"][args["mail_id"]]
+    mail["status"] = "sent"
+    box["sent"].append({"recipients": list(mail["recipients"]), "content": mail["content"]})
+    rt.store_obj(MAILBOX, box)
+    return {"ok": True, "delivered_to": list(mail["recipients"])}
+
+
+def _sent_log(rt: EnclaveRuntime, args) -> list:
+    return _load_box(rt)["sent"]
+
+
+def build_mailserver_image(builder: SdkBuilder, flavor: str = "secure") -> BuiltImage:
+    """Build the mail-server enclave.
+
+    ``flavor`` feeds the code id: the fork-attack demonstration builds a
+    deliberately *insecure* variant (no self-destroy) as a separate image
+    to show what the paper's defense is preventing.
+    """
+    program = EnclaveProgram(f"repro/mailserver-{flavor}-v1")
+    program.add_entry("create_mail", AtomicEntry(_create_mail))
+    program.add_entry("delete_recipient", AtomicEntry(_delete_recipient))
+    program.add_entry("send_mail", AtomicEntry(_send_mail))
+    program.add_entry("sent_log", AtomicEntry(_sent_log, cost_ns=2_000))
+    return builder.build(
+        f"mailserver-{flavor}",
+        program,
+        n_workers=2,
+        data_objects={MAILBOX: 2 * 4096},
+    )

@@ -1,0 +1,17 @@
+"""§VII-A: VM-wide consistency across interrelated enclaves."""
+
+import pytest
+
+from repro.attacks.multi_enclave import TOTAL, run_multi_enclave_scenario
+
+
+class TestMultiEnclaveConsistency:
+    def test_composed_checkpoint_is_consistent(self):
+        outcome = run_multi_enclave_scenario()
+        assert outcome.consistent
+        assert outcome.total_after == TOTAL
+
+    @pytest.mark.parametrize("n_transfers", [0, 1, 12])
+    def test_consistency_independent_of_transfer_count(self, n_transfers):
+        outcome = run_multi_enclave_scenario(seed=62 + n_transfers, n_transfers=n_transfers)
+        assert outcome.consistent

@@ -1,0 +1,97 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.migration.testbed import Testbed, build_testbed
+from repro.sdk.host import HostApplication, WorkerSpec
+from repro.sdk.program import AtomicEntry, EnclaveProgram, ResumableEntry
+from repro.sim.clock import VirtualClock
+from repro.sim.costs import DEFAULT_COSTS
+from repro.sim.rng import DeterministicRng
+from repro.sim.trace import EventTrace
+
+
+@pytest.fixture
+def clock() -> VirtualClock:
+    return VirtualClock()
+
+
+@pytest.fixture
+def trace(clock) -> EventTrace:
+    return EventTrace(clock)
+
+
+@pytest.fixture
+def rng() -> DeterministicRng:
+    return DeterministicRng(1234)
+
+
+@pytest.fixture
+def costs():
+    return DEFAULT_COSTS
+
+
+@pytest.fixture
+def testbed() -> Testbed:
+    return build_testbed(seed=100)
+
+
+def make_counter_program(tag: str = "shared") -> EnclaveProgram:
+    """A small two-entry program used across many tests."""
+    program = EnclaveProgram(f"tests/counter-{tag}-v1")
+
+    def incr(rt, args):
+        value = rt.load_global("counter") + int(1 if args is None else args)
+        rt.store_global("counter", value)
+        return value
+
+    def read(rt, args):
+        return rt.load_global("counter")
+
+    program.add_entry("incr", AtomicEntry(incr))
+    program.add_entry("read", AtomicEntry(read, cost_ns=1_000))
+
+    def prepare(rt, args):
+        return {"remaining": int(args)}
+
+    def step(rt, regs):
+        if regs["remaining"] > 0:
+            rt.store_global("counter", rt.load_global("counter") + 1)
+            regs["remaining"] -= 1
+            regs["__pc"] -= 1
+        else:
+            regs["result"] = rt.load_global("counter")
+
+    program.add_entry(
+        "slow_incr", ResumableEntry(prepare=prepare, steps=(step, lambda rt, regs: None))
+    )
+    return program
+
+
+def build_counter_app(
+    tb: Testbed,
+    tag: str = "shared",
+    workers: list[WorkerSpec] | None = None,
+    provision: bool = True,
+) -> HostApplication:
+    """Build, register and launch the counter app on the source machine."""
+    built = tb.builder.build(
+        f"counter-{tag}", make_counter_program(tag), n_workers=2, global_names=("counter",)
+    )
+    tb.owner.register_image(built)
+    app = HostApplication(
+        tb.source,
+        tb.source_os,
+        built.image,
+        workers=workers if workers is not None else [],
+        owner=tb.owner if provision else None,
+    )
+    app.launch()
+    return app
+
+
+@pytest.fixture
+def counter_app(testbed) -> HostApplication:
+    return build_counter_app(testbed)

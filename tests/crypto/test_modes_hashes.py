@@ -1,0 +1,144 @@
+"""Block-cipher modes, padding, hashes and HKDF."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.aes import Aes128
+from repro.crypto.des import Des
+from repro.crypto.hashes import constant_time_equal, hkdf, hmac_sha256, sha256
+from repro.crypto.modes import (
+    cbc_decrypt,
+    cbc_encrypt,
+    ctr_keystream,
+    ctr_process,
+    pkcs7_pad,
+    pkcs7_unpad,
+)
+from repro.errors import CryptoError
+
+
+class TestPkcs7:
+    def test_pad_round_trip(self):
+        for n in range(0, 40):
+            data = bytes(range(n % 256))[:n]
+            assert pkcs7_unpad(pkcs7_pad(data, 16), 16) == data
+
+    def test_full_block_added_when_aligned(self):
+        padded = pkcs7_pad(b"x" * 16, 16)
+        assert len(padded) == 32
+        assert padded[-1] == 16
+
+    def test_bad_padding_rejected(self):
+        with pytest.raises(CryptoError):
+            pkcs7_unpad(b"\x00" * 16, 16)
+        with pytest.raises(CryptoError):
+            pkcs7_unpad(b"a" * 15 + b"\x05", 16)
+
+    def test_unaligned_rejected(self):
+        with pytest.raises(CryptoError):
+            pkcs7_unpad(b"abc", 16)
+
+
+class TestCbc:
+    def test_roundtrip_aes(self):
+        cipher = Aes128(b"k" * 16)
+        ct = cbc_encrypt(cipher, b"i" * 16, b"attack at dawn")
+        assert cbc_decrypt(cipher, b"i" * 16, ct) == b"attack at dawn"
+
+    def test_roundtrip_des(self):
+        cipher = Des(b"8bytekey")
+        ct = cbc_encrypt(cipher, b"ivivivi!", b"some longer plaintext here")
+        assert cbc_decrypt(cipher, b"ivivivi!", ct) == b"some longer plaintext here"
+
+    def test_iv_must_match_block(self):
+        with pytest.raises(ValueError):
+            cbc_encrypt(Aes128(b"k" * 16), b"short", b"data")
+
+    def test_identical_blocks_differ_in_ciphertext(self):
+        cipher = Aes128(b"k" * 16)
+        ct = cbc_encrypt(cipher, b"\x00" * 16, b"A" * 32)
+        assert ct[:16] != ct[16:32]
+
+    def test_wrong_iv_garbles(self):
+        cipher = Aes128(b"k" * 16)
+        ct = cbc_encrypt(cipher, b"\x01" * 16, b"hello world!!!")
+        with pytest.raises(CryptoError):
+            # Wrong IV corrupts the first block; padding check catches it
+            # (or the plaintext differs — both count as failure here).
+            result = cbc_decrypt(cipher, b"\x02" * 16, ct)
+            if result == b"hello world!!!":
+                raise AssertionError("wrong IV decrypted correctly?!")
+            raise CryptoError("garbled")
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=30)
+    def test_roundtrip_property(self, data):
+        cipher = Aes128(b"p" * 16)
+        assert cbc_decrypt(cipher, b"q" * 16, cbc_encrypt(cipher, b"q" * 16, data)) == data
+
+
+class TestCtr:
+    def test_process_is_involution(self):
+        cipher = Aes128(b"k" * 16)
+        data = b"counter mode data" * 3
+        ct = ctr_process(cipher, b"nonce123", data)
+        assert ctr_process(cipher, b"nonce123", ct) == data
+
+    def test_keystream_deterministic(self):
+        cipher = Aes128(b"k" * 16)
+        assert ctr_keystream(cipher, b"n" * 8, 100) == ctr_keystream(cipher, b"n" * 8, 100)
+
+    def test_different_nonce_different_stream(self):
+        cipher = Aes128(b"k" * 16)
+        assert ctr_keystream(cipher, b"n1n1n1n1", 64) != ctr_keystream(cipher, b"n2n2n2n2", 64)
+
+    def test_counter_offset(self):
+        cipher = Aes128(b"k" * 16)
+        full = ctr_keystream(cipher, b"n" * 8, 64)
+        tail = ctr_keystream(cipher, b"n" * 8, 32, first_counter=2)
+        assert full[32:] == tail
+
+    def test_works_with_scalar_only_cipher(self):
+        cipher = Des(b"8bytekey")
+        data = b"des in counter mode"
+        assert ctr_process(cipher, b"nn", ctr_process(cipher, b"nn", data)) == data
+
+    def test_nonce_too_long_rejected(self):
+        cipher = Aes128(b"k" * 16)
+        with pytest.raises(ValueError):
+            ctr_keystream(cipher, b"x" * 15, 16)
+
+
+class TestHashes:
+    def test_sha256_known_vector(self):
+        assert sha256(b"abc").hex() == (
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        )
+
+    def test_hmac_rfc4231_case1(self):
+        mac = hmac_sha256(b"\x0b" * 20, b"Hi There")
+        assert mac.hex() == (
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        )
+
+    def test_constant_time_equal(self):
+        assert constant_time_equal(b"same", b"same")
+        assert not constant_time_equal(b"same", b"diff")
+
+    def test_hkdf_deterministic_and_labelled(self):
+        a = hkdf(b"ikm", b"label-a", 32)
+        b = hkdf(b"ikm", b"label-a", 32)
+        c = hkdf(b"ikm", b"label-b", 32)
+        assert a == b
+        assert a != c
+
+    def test_hkdf_lengths(self):
+        assert len(hkdf(b"x", b"y", 16)) == 16
+        assert len(hkdf(b"x", b"y", 100)) == 100
+
+    def test_hkdf_prefix_property(self):
+        assert hkdf(b"x", b"y", 64)[:32] == hkdf(b"x", b"y", 32)
+
+    def test_hkdf_too_long(self):
+        with pytest.raises(ValueError):
+            hkdf(b"x", b"y", 256 * 32 + 1)

@@ -1,0 +1,166 @@
+"""Diffie-Hellman, RSA signatures, typed keys, and the AE envelope."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.authenc import CIPHER_NAMES, Envelope, open_envelope, seal_envelope
+from repro.crypto.dh import DhKeyExchange, MODP_2048_P
+from repro.crypto.keys import KeyPair, SymmetricKey
+from repro.crypto.rsa import RsaPublicKey, generate_rsa_keypair
+from repro.errors import CryptoError, IntegrityError, SignatureError
+from repro.sim.rng import DeterministicRng
+
+
+class TestDh:
+    def test_shared_secret_agrees(self, rng):
+        alice, bob = DhKeyExchange(rng.fork("a")), DhKeyExchange(rng.fork("b"))
+        assert alice.shared_secret(bob.public) == bob.shared_secret(alice.public)
+
+    def test_third_party_differs(self, rng):
+        alice = DhKeyExchange(rng.fork("a"))
+        bob = DhKeyExchange(rng.fork("b"))
+        eve = DhKeyExchange(rng.fork("e"))
+        assert eve.shared_secret(alice.public) != alice.shared_secret(bob.public)
+
+    @pytest.mark.parametrize("degenerate", [0, 1, MODP_2048_P - 1, MODP_2048_P])
+    def test_degenerate_peer_rejected(self, rng, degenerate):
+        party = DhKeyExchange(rng.fork("a"))
+        with pytest.raises(CryptoError):
+            party.shared_secret(degenerate)
+
+    def test_secret_is_32_bytes(self, rng):
+        alice, bob = DhKeyExchange(rng.fork("a")), DhKeyExchange(rng.fork("b"))
+        assert len(alice.shared_secret(bob.public)) == 32
+
+
+class TestRsa:
+    def test_sign_verify(self, rng):
+        key = generate_rsa_keypair(rng.fork("k"))
+        sig = key.sign(b"message")
+        key.public.verify(b"message", sig)  # no raise
+
+    def test_wrong_message_rejected(self, rng):
+        key = generate_rsa_keypair(rng.fork("k"))
+        sig = key.sign(b"message")
+        with pytest.raises(SignatureError):
+            key.public.verify(b"other", sig)
+
+    def test_tampered_signature_rejected(self, rng):
+        key = generate_rsa_keypair(rng.fork("k"))
+        sig = bytearray(key.sign(b"message"))
+        sig[10] ^= 1
+        with pytest.raises(SignatureError):
+            key.public.verify(b"message", bytes(sig))
+
+    def test_wrong_key_rejected(self, rng):
+        key_a = generate_rsa_keypair(rng.fork("a"))
+        key_b = generate_rsa_keypair(rng.fork("b"))
+        sig = key_a.sign(b"message")
+        assert not key_b.public.is_valid(b"message", sig)
+
+    def test_signature_length_checked(self, rng):
+        key = generate_rsa_keypair(rng.fork("k"))
+        with pytest.raises(SignatureError):
+            key.public.verify(b"message", b"short")
+
+    def test_keygen_deterministic_and_cached(self):
+        a = generate_rsa_keypair(DeterministicRng("same-seed"))
+        b = generate_rsa_keypair(DeterministicRng("same-seed"))
+        assert a.n == b.n
+
+    def test_fingerprint_stable(self, rng):
+        key = generate_rsa_keypair(rng.fork("k")).public
+        assert key.fingerprint() == key.fingerprint()
+        assert len(key.fingerprint()) == 32
+
+
+class TestSymmetricKey:
+    def test_min_length_enforced(self):
+        with pytest.raises(ValueError):
+            SymmetricKey(b"short")
+
+    def test_derive_is_labelled(self):
+        key = SymmetricKey(b"k" * 32, "root")
+        assert key.derive("enc").material != key.derive("mac").material
+        assert key.derive("enc").material == key.derive("enc").material
+
+    def test_repr_hides_material(self):
+        key = SymmetricKey(b"supersecretsupersecret!!", "root")
+        assert b"supersecret" not in repr(key).encode()
+
+    def test_random(self, rng):
+        a = SymmetricKey.random(rng.fork("a"))
+        b = SymmetricKey.random(rng.fork("b"))
+        assert a.material != b.material
+
+
+class TestEnvelope:
+    @pytest.fixture
+    def key(self):
+        return SymmetricKey(b"\x07" * 32, "test")
+
+    @pytest.mark.parametrize("algorithm", CIPHER_NAMES)
+    def test_roundtrip_all_ciphers(self, key, algorithm):
+        env = seal_envelope(key, b"payload " * 50, b"n" * 16, algorithm)
+        assert open_envelope(key, env) == b"payload " * 50
+
+    @pytest.mark.parametrize("algorithm", CIPHER_NAMES)
+    def test_serialization_roundtrip(self, key, algorithm):
+        env = seal_envelope(key, b"data", b"n" * 16, algorithm)
+        assert open_envelope(key, Envelope.from_bytes(env.to_bytes())) == b"data"
+
+    def test_ciphertext_hides_plaintext(self, key):
+        secret = b"VERY-IDENTIFIABLE-SECRET-BYTES"
+        env = seal_envelope(key, secret * 4, b"n" * 16, "aes")
+        assert secret not in env.ciphertext
+        assert secret not in env.to_bytes()
+
+    def test_wrong_key_rejected(self, key):
+        env = seal_envelope(key, b"data", b"n" * 16)
+        other = SymmetricKey(b"\x08" * 32, "other")
+        with pytest.raises(IntegrityError):
+            open_envelope(other, env)
+
+    def test_tampered_ciphertext_rejected(self, key):
+        env = seal_envelope(key, b"data" * 20, b"n" * 16)
+        bad = Envelope(env.algorithm, env.nonce, b"X" + env.ciphertext[1:], env.mac)
+        with pytest.raises(IntegrityError):
+            open_envelope(key, bad)
+
+    def test_tampered_mac_rejected(self, key):
+        env = seal_envelope(key, b"data", b"n" * 16)
+        bad = Envelope(env.algorithm, env.nonce, env.ciphertext, b"\x00" * 32)
+        with pytest.raises(IntegrityError):
+            open_envelope(key, bad)
+
+    def test_aad_binding(self, key):
+        env = seal_envelope(key, b"data", b"n" * 16, aad=b"context-a")
+        with pytest.raises(IntegrityError):
+            open_envelope(key, env, aad=b"context-b")
+        assert open_envelope(key, env, aad=b"context-a") == b"data"
+
+    def test_algorithm_swap_rejected(self, key):
+        env = seal_envelope(key, b"data", b"n" * 16, "rc4")
+        swapped = Envelope("aes", env.nonce, env.ciphertext, env.mac)
+        with pytest.raises(IntegrityError):
+            open_envelope(key, swapped)
+
+    def test_unknown_algorithm_rejected(self, key):
+        with pytest.raises(CryptoError):
+            seal_envelope(key, b"data", b"n" * 16, "rot13")
+
+    def test_short_nonce_rejected(self, key):
+        with pytest.raises(CryptoError):
+            seal_envelope(key, b"data", b"abc")
+
+    def test_truncated_bytes_rejected(self, key):
+        env = seal_envelope(key, b"data" * 100, b"n" * 16)
+        with pytest.raises(CryptoError):
+            Envelope.from_bytes(env.to_bytes()[: len(env.to_bytes()) // 2])
+
+    @given(st.binary(max_size=300), st.sampled_from(CIPHER_NAMES))
+    @settings(max_examples=30)
+    def test_roundtrip_property(self, data, algorithm):
+        key = SymmetricKey(b"\x09" * 32, "prop")
+        env = seal_envelope(key, data, b"n" * 16, algorithm)
+        assert open_envelope(key, env) == data

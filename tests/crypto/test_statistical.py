@@ -1,0 +1,86 @@
+"""Statistical sanity of the cipher outputs.
+
+Not a cryptanalysis suite — cheap distributional checks that would catch
+gross implementation mistakes (stuck bytes, identity transforms, short
+cycles) in the from-scratch ciphers.
+"""
+
+import math
+
+import pytest
+
+from repro.crypto.aes import Aes128
+from repro.crypto.des import Des
+from repro.crypto.modes import ctr_keystream
+from repro.crypto.rc4 import Rc4
+
+
+def byte_histogram(data: bytes) -> list[int]:
+    counts = [0] * 256
+    for b in data:
+        counts[b] += 1
+    return counts
+
+
+def chi_square_uniform(data: bytes) -> float:
+    expected = len(data) / 256
+    return sum((c - expected) ** 2 / expected for c in byte_histogram(data))
+
+
+# For 255 degrees of freedom, a chi-square above ~360 is < 0.0001 likely
+# for genuinely uniform data; a broken keystream lands in the thousands.
+CHI_SQUARE_BOUND = 360
+
+
+class TestKeystreamUniformity:
+    def test_rc4_keystream_roughly_uniform(self):
+        stream = Rc4(b"statistical-test-key").keystream(64 * 1024)
+        assert chi_square_uniform(stream) < CHI_SQUARE_BOUND
+
+    def test_aes_ctr_keystream_roughly_uniform(self):
+        stream = ctr_keystream(Aes128(b"k" * 16), b"n" * 8, 64 * 1024)
+        assert chi_square_uniform(stream) < CHI_SQUARE_BOUND
+
+    def test_des_ctr_keystream_roughly_uniform(self):
+        stream = ctr_keystream(Des(b"8bytekey"), b"nn", 16 * 1024)
+        assert chi_square_uniform(stream) < CHI_SQUARE_BOUND
+
+
+class TestNoDegenerateBehaviour:
+    def test_rc4_no_short_cycle(self):
+        stream = Rc4(b"key").keystream(4096)
+        # No 16-byte block repeats immediately (a cycle would).
+        blocks = [stream[i : i + 16] for i in range(0, 4096, 16)]
+        assert len(set(blocks)) == len(blocks)
+
+    def test_aes_not_identity_or_involution(self):
+        cipher = Aes128(b"k" * 16)
+        block = bytes(16)
+        once = cipher.encrypt_block(block)
+        twice = cipher.encrypt_block(once)
+        assert once != block
+        assert twice != block
+
+    def test_des_output_depends_on_every_key_byte(self):
+        base = Des(b"AAAAAAAA").encrypt_block(b"plaintxt")
+        for i in range(8):
+            key = bytearray(b"AAAAAAAA")
+            key[i] ^= 0x02  # flip a non-parity bit
+            assert Des(bytes(key)).encrypt_block(b"plaintxt") != base
+
+    def test_aes_output_depends_on_every_key_byte(self):
+        base = Aes128(b"B" * 16).encrypt_block(b"p" * 16)
+        for i in range(16):
+            key = bytearray(b"B" * 16)
+            key[i] ^= 1
+            assert Aes128(bytes(key)).encrypt_block(b"p" * 16) != base
+
+    def test_ciphertext_entropy_high(self):
+        # Shannon entropy of AES-CTR over zeros must be near 8 bits/byte.
+        stream = ctr_keystream(Aes128(b"e" * 16), b"n" * 8, 32 * 1024)
+        counts = byte_histogram(stream)
+        total = len(stream)
+        entropy = -sum(
+            (c / total) * math.log2(c / total) for c in counts if c
+        )
+        assert entropy > 7.9

@@ -1,0 +1,143 @@
+"""Guest OS: scheduler honesty, SGX driver LRU, kernel migration prep."""
+
+import pytest
+
+from repro.errors import GuestOsError, NoSuchEnclave
+from repro.guestos.kernel import GuestOs
+from repro.guestos.process import SIGUSR1
+from repro.machine import Machine
+from repro.sdk.host import HostApplication, WorkerSpec
+from repro.sgx.structures import PAGE_SIZE
+from repro.sim.clock import VirtualClock
+from repro.sim.rng import DeterministicRng
+from repro.sim.trace import EventTrace
+
+from tests.conftest import build_counter_app, make_counter_program
+
+
+class TestScheduler:
+    def test_honest_scheduler_really_stops(self, testbed):
+        os = testbed.source_os
+        process = os.spawn_process("app")
+
+        def spin():
+            while True:
+                yield 100
+        victim = os.spawn_thread(process, "victim", spin())
+        requester = os.spawn_thread(process, "requester", iter([]))
+        assert os.scheduler.stop_other_threads(process, requester)
+        before = victim.steps_run
+        for _ in range(20):
+            os.engine.step_round()
+        assert victim.steps_run == before
+
+    def test_malicious_scheduler_lies(self):
+        from repro.migration.testbed import build_testbed
+
+        tb = build_testbed(seed=7, malicious_scheduler=True)
+        os = tb.source_os
+        process = os.spawn_process("app")
+
+        def spin():
+            while True:
+                yield 100
+        victim = os.spawn_thread(process, "victim", spin())
+        requester = os.spawn_thread(process, "requester", iter([]))
+        assert os.scheduler.stop_other_threads(process, requester)  # "OK"
+        for _ in range(20):
+            os.engine.step_round()
+        assert victim.steps_run > 0  # ...but the thread kept running
+
+    def test_resume_threads(self, testbed):
+        os = testbed.source_os
+        process = os.spawn_process("app")
+        thread = os.spawn_thread(process, "t", iter([100, 100]))
+        requester = os.spawn_thread(process, "r", iter([]))
+        os.scheduler.stop_other_threads(process, requester)
+        os.scheduler.resume_threads(process)
+        os.run_until(lambda: thread.finished)
+
+
+class TestSgxDriver:
+    def test_create_and_destroy(self, testbed):
+        app = build_counter_app(testbed, tag="drv1")
+        driver = testbed.source_os.driver
+        assert app.library.enclave_id in driver.live_enclave_ids()
+        driver.destroy_enclave(app.library.enclave_id)
+        assert app.library.enclave_id not in driver.live_enclave_ids()
+        with pytest.raises(NoSuchEnclave):
+            driver.hw(app.library.enclave_id)
+
+    def test_destroy_frees_quota(self, testbed):
+        driver = testbed.source_os.driver
+        used_before = testbed.source_vm.vepc.used_pages
+        app = build_counter_app(testbed, tag="drv2")
+        assert testbed.source_vm.vepc.used_pages > used_before
+        driver.destroy_enclave(app.library.enclave_id)
+        assert testbed.source_vm.vepc.used_pages == used_before
+
+    def test_records_track_lifecycle(self, testbed):
+        driver = testbed.source_os.driver
+        app = build_counter_app(testbed, tag="drv3")
+        record = next(r for r in driver.records if r.enclave_id == app.library.enclave_id)
+        assert not record.destroyed
+        driver.destroy_enclave(app.library.enclave_id)
+        assert record.destroyed
+
+    def test_refuses_enclaves_while_migrating(self, testbed):
+        testbed.source_os.driver.refuse_new_enclaves = True
+        with pytest.raises(GuestOsError):
+            build_counter_app(testbed, tag="drv4")
+
+    def test_lru_eviction_under_pressure(self):
+        from repro.migration.testbed import build_testbed
+
+        # Tiny vEPC: a single enclave (dozens of pages) cannot fit.
+        tb = build_testbed(seed=8, vepc_pages=24)
+        app = build_counter_app(tb, tag="small")
+        driver = tb.source_os.driver
+        assert tb.trace.counter("driver.evictions") > 0
+        # The enclave still works: faults reload evicted pages.
+        assert app.ecall_once(0, "incr", 5) == 5
+        assert driver.page_fault_count > 0
+
+    def test_fault_on_resident_page_rejected(self, testbed):
+        app = build_counter_app(testbed, tag="drv5")
+        with pytest.raises(GuestOsError):
+            testbed.source_os.driver.handle_page_fault(
+                app.library.enclave_id, app.image.layout.base
+            )
+
+
+class TestKernelMigrationPrep:
+    def test_signal_delivery_requires_handler(self, testbed):
+        os = testbed.source_os
+        process = os.spawn_process("plain")
+        with pytest.raises(GuestOsError):
+            os.deliver_signal(process, SIGUSR1)
+
+    def test_on_migration_notify_prepares_all_enclaves(self, testbed):
+        apps = [build_counter_app(testbed, tag=f"prep{i}") for i in range(3)]
+        testbed.source_os.on_migration_notify()
+        assert testbed.source_os.enclaves_ready()
+        for app in apps:
+            assert app.library.last_checkpoint is not None
+        assert testbed.source.hypervisor.migration_ready(testbed.source_vm)
+
+    def test_notify_sets_migration_mode(self, testbed):
+        build_counter_app(testbed, tag="mode")
+        testbed.source_os.on_migration_notify()
+        assert testbed.source_os.migrating
+        assert testbed.source_os.driver.refuse_new_enclaves
+        testbed.source_os.end_migration()
+        assert not testbed.source_os.migrating
+
+    def test_checkpoints_parked_in_vm_memory(self, testbed):
+        build_counter_app(testbed, tag="park")
+        extra_before = testbed.source_vm.memory.extra_bytes
+        testbed.source_os.on_migration_notify()
+        assert testbed.source_vm.memory.extra_bytes > extra_before
+
+    def test_notify_with_no_enclaves_is_immediate(self, testbed):
+        testbed.source_os.on_migration_notify()
+        assert testbed.source.hypervisor.migration_ready(testbed.source_vm)

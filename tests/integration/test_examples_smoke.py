@@ -1,0 +1,38 @@
+"""Smoke tests: the shipped examples run to completion.
+
+Each example's ``main()`` contains its own assertions; importing and
+running them here keeps the README's demos from rotting.  Only the quick
+ones run in the default suite.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str) -> None:
+    spec = importlib.util.spec_from_file_location(f"examples.{name}", EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+
+
+class TestExamplesSmoke:
+    def test_quickstart(self, capsys):
+        run_example("quickstart")
+        out = capsys.readouterr().out
+        assert "source ecall completed? False" in out
+
+    def test_proposed_hardware(self, capsys):
+        run_example("proposed_hardware")
+        out = capsys.readouterr().out
+        assert "value = 4242" in out
+
+    def test_consistency_attack(self, capsys):
+        run_example("consistency_attack_bank")
+        out = capsys.readouterr().out
+        assert "the attack of Figure 3 landed" in out

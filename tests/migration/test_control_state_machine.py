@@ -1,0 +1,81 @@
+"""The control thread's channel state machine, unit level.
+
+CHANNEL_NONE → (source_open_channel) → CHANNEL_OPEN →
+(source_release_key) → CHANNEL_SPENT, with every illegal transition
+refused from inside the enclave.
+"""
+
+import pytest
+
+from repro.errors import ChannelError, MigrationError, SelfDestroyed
+from repro.migration.orchestrator import MigrationOrchestrator
+from repro.sdk import control
+from repro.sgx import instructions as isa
+
+from tests.conftest import build_counter_app
+
+
+def channel_state(app):
+    template = app.image.control_tcs
+    session = isa.eenter(app.machine.cpu, app.library.hw(), template.vaddr)
+    rt = app.library._runtime(session)
+    state = rt.channel_state()
+    isa.eexit(session)
+    return state
+
+
+class TestChannelStateMachine:
+    def test_initial_state_none(self, testbed, counter_app):
+        assert channel_state(counter_app) == control.CHANNEL_NONE
+
+    def test_open_after_channel(self, testbed):
+        app = build_counter_app(testbed, tag="sm-open")
+        orch = MigrationOrchestrator(testbed)
+        orch.checkpoint_enclave(app)
+        target = orch.build_virgin_target(app)
+        orch.establish_channel(app, target)
+        assert channel_state(app) == control.CHANNEL_OPEN
+
+    def test_spent_after_key_release(self, testbed):
+        app = build_counter_app(testbed, tag="sm-spent")
+        orch = MigrationOrchestrator(testbed)
+        orch.migrate_enclave(app)
+        assert channel_state(app) == control.CHANNEL_SPENT
+
+    def test_cancel_returns_to_none(self, testbed):
+        app = build_counter_app(testbed, tag="sm-cancel")
+        orch = MigrationOrchestrator(testbed)
+        orch.checkpoint_enclave(app)
+        target = orch.build_virgin_target(app)
+        orch.establish_channel(app, target)
+        orch.cancel(app)
+        assert channel_state(app) == control.CHANNEL_NONE
+
+    def test_release_from_none_refused(self, testbed):
+        app = build_counter_app(testbed, tag="sm-none")
+        with pytest.raises((ChannelError, MigrationError)):
+            app.library.control_call(control.source_release_key)
+
+    def test_every_source_op_refused_when_spent(self, testbed):
+        app = build_counter_app(testbed, tag="sm-dead")
+        orch = MigrationOrchestrator(testbed)
+        orch.migrate_enclave(app)
+        with pytest.raises(SelfDestroyed):
+            app.library.control_call(control.source_release_key)
+        with pytest.raises(SelfDestroyed):
+            app.library.control_call(control.source_cancel_migration)
+        with pytest.raises(SelfDestroyed):
+            orch.checkpoint_enclave(app)
+        target = orch.build_virgin_target(app)
+        with pytest.raises((ChannelError, SelfDestroyed)):
+            orch.establish_channel(app, target)
+
+    def test_checkpoint_sequence_survives_state_transitions(self, testbed):
+        app = build_counter_app(testbed, tag="sm-seq")
+        orch = MigrationOrchestrator(testbed)
+        sequences = []
+        for _ in range(3):
+            orch.checkpoint_enclave(app)
+            sequences.append(app.library.last_checkpoint.sequence)
+            orch.cancel(app)
+        assert sequences == [1, 2, 3]

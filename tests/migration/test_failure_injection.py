@@ -1,0 +1,127 @@
+"""Failure injection: the protocol under infrastructure misbehaviour.
+
+The paper's threat model excludes DoS ("Such attacks are not introduced
+by migration"), but the *mechanism* must still fail safe: a migration
+that dies mid-way must leave a resumable source (before key handoff) or
+a dead-but-consistent pair (after), never a forked or corrupted one.
+"""
+
+import pytest
+
+from repro.errors import (
+    AttestationError,
+    ChannelError,
+    MigrationError,
+    QuoteRejected,
+    SelfDestroyed,
+)
+from repro.migration.orchestrator import MigrationOrchestrator
+from repro.sdk import control
+from repro.sdk.host import WorkerSpec
+
+from tests.conftest import build_counter_app
+
+
+@pytest.fixture
+def orch(testbed):
+    return MigrationOrchestrator(testbed)
+
+
+class TestNetworkFailureBeforePointOfNoReturn:
+    def test_abort_after_checkpoint_source_resumes(self, testbed, orch):
+        app = build_counter_app(
+            testbed, tag="net1", workers=[WorkerSpec("slow_incr", args=150, repeat=1)]
+        )
+        for _ in range(30):
+            testbed.source_os.engine.step_round()
+        orch.checkpoint_enclave(app)
+        # "Network dies" here: the operator cancels.
+        orch.cancel(app)
+        testbed.source_os.run_until(
+            lambda: not [t for t in app.process.live_threads() if "worker" in t.name]
+        )
+        assert app.ecall_once(1, "read") == 150
+
+    def test_abort_after_channel_source_resumes(self, testbed, orch):
+        app = build_counter_app(testbed, tag="net2")
+        app.ecall_once(0, "incr", 9)
+        orch.checkpoint_enclave(app)
+        target = orch.build_virgin_target(app)
+        orch.establish_channel(app, target)
+        orch.cancel(app)  # key never left: cancellation is clean
+        assert app.ecall_once(0, "read") == 9
+        # A later, complete migration still works.
+        result = orch.migrate_enclave(app)
+        assert result.target_app.ecall_once(0, "read") == 9
+
+    def test_orphaned_checkpoint_is_useless_after_cancel(self, testbed, orch):
+        app = build_counter_app(testbed, tag="net3")
+        orch.checkpoint_enclave(app)
+        orphan = app.library.last_checkpoint.envelope.to_bytes()
+        orch.cancel(app)  # "the source enclave will delete the K_migrate"
+        # Even a *fully cooperative* target cannot open the orphan: the
+        # only key that ever existed is gone.
+        target = orch.build_virgin_target(app)
+        from repro.errors import RestoreError
+
+        with pytest.raises(RestoreError):
+            target.library.control_call(control.target_restore_memory, orphan)
+
+
+class TestFailureAfterPointOfNoReturn:
+    def test_crash_after_key_release_leaves_no_second_chance(self, testbed, orch):
+        """If the world ends between key release and restore, the source
+        stays dead (single instance beats availability, by design)."""
+        app = build_counter_app(testbed, tag="late")
+        orch.checkpoint_enclave(app)
+        target = orch.build_virgin_target(app)
+        orch.establish_channel(app, target)
+        orch.transfer_checkpoint(app)
+        app.library.control_call(control.source_release_key)
+        # "Target machine explodes" — and the source cannot come back:
+        with pytest.raises(SelfDestroyed):
+            orch.cancel(app)
+        with pytest.raises(SelfDestroyed):
+            orch.checkpoint_enclave(app)
+
+
+class TestServiceOutages:
+    def test_ias_outage_blocks_channel_not_source(self, testbed, orch):
+        app = build_counter_app(testbed, tag="ias")
+        app.ecall_once(0, "incr", 4)
+        orch.checkpoint_enclave(app)
+        target = orch.build_virgin_target(app)
+        quote, dh = target.library.control_call(
+            control.target_channel_request, testbed.target.quoting_enclave
+        )
+        # IAS "returns garbage" (an unverifiable AVR from some impostor).
+        from repro.crypto.keys import KeyPair
+        from repro.crypto.rsa import generate_rsa_keypair
+        from repro.sgx.attestation import AttestationService
+        from repro.sim.rng import DeterministicRng
+
+        impostor = AttestationService(
+            testbed.clock,
+            testbed.costs,
+            KeyPair(generate_rsa_keypair(DeterministicRng("impostor")), "fake-ias"),
+        )
+        impostor.register_platform(
+            testbed.target.cpu.platform_id,
+            testbed.target.quoting_enclave._attestation_key.public,
+        )
+        fake_avr = impostor.verify_quote(quote)
+        with pytest.raises(Exception):
+            app.library.control_call(control.source_open_channel, fake_avr, dh)
+        # The source is unharmed and can cancel + keep serving.
+        orch.cancel(app)
+        assert app.ecall_once(0, "read") == 4
+
+    def test_owner_outage_blocks_launch_only(self, testbed):
+        """Without the owner, a new enclave cannot be provisioned — but
+        migration of already-provisioned enclaves needs no owner at all."""
+        app = build_counter_app(testbed, tag="owner-out")
+        app.ecall_once(0, "incr", 2)
+        # Owner "goes offline" — migration still completes end to end.
+        testbed.owner._images.clear()
+        result = MigrationOrchestrator(testbed).migrate_enclave(app)
+        assert result.target_app.ecall_once(0, "read") == 2

@@ -1,0 +1,81 @@
+"""Migration on SGX v2: the W+X limitation disappears (§IV-B)."""
+
+import pytest
+
+from repro.migration.orchestrator import MigrationOrchestrator
+from repro.sdk.host import HostApplication
+from repro.sdk.program import AtomicEntry, EnclaveProgram
+from repro.sgx.structures import PAGE_SIZE, Permissions
+
+
+def build_wx_app(testbed, v2: bool):
+    """An app whose enclave carries live state in a W+X page."""
+    program = EnclaveProgram(f"tests/wx-{'v2' if v2 else 'v1'}-v1")
+
+    def write_code(rt, args):
+        # The enclave itself can write its W+X page (it has W) — think
+        # JIT-generated code, the §IV-B scenario.
+        wx = next(
+            p.vaddr
+            for p in rt.image.pages
+            if Permissions.R not in p.sec_info.permissions
+            and p.sec_info.page_type.value == "reg"
+        )
+        rt.write(wx, bytes(args))
+        rt.store_global("wx_vaddr", wx)
+        return wx
+
+    program.add_entry("write_code", AtomicEntry(write_code))
+    built = testbed.builder.build(
+        f"wx-app-{'v2' if v2 else 'v1'}",
+        program,
+        n_workers=1,
+        global_names=("wx_vaddr",),
+        add_unreadable_page=True,
+    )
+    testbed.owner.register_image(built)
+    app = HostApplication(
+        testbed.source, testbed.source_os, built.image, [], owner=testbed.owner
+    )
+    app.launch()
+    app.library.sgx_v2 = v2
+    return app
+
+
+class TestSgxV2Migration:
+    def test_v1_skips_the_wx_page(self, testbed):
+        app = build_wx_app(testbed, v2=False)
+        app.ecall_once(0, "write_code", b"jitted-bytes-v1")
+        MigrationOrchestrator(testbed).checkpoint_enclave(app)
+        assert app.library.last_checkpoint.skipped_pages == 1
+
+    def test_v2_migrates_the_wx_page(self, testbed):
+        app = build_wx_app(testbed, v2=True)
+        app.ecall_once(0, "write_code", b"jitted-bytes-v2")
+        orch = MigrationOrchestrator(testbed)
+        result = orch.migrate_enclave(app)
+        assert app.library.last_checkpoint.skipped_pages == 0
+        # The W+X content arrived on the target, permissions intact.
+        target = result.target_app
+        hw = target.library.hw()
+        wx_vaddr = next(
+            p.vaddr
+            for p in app.image.pages
+            if Permissions.R not in p.sec_info.permissions
+            and p.sec_info.page_type.value == "reg"
+        )
+        assert hw.page_permissions(wx_vaddr) == Permissions.W | Permissions.X
+        assert hw.hw_read(wx_vaddr, 15) == b"jitted-bytes-v2"
+
+    def test_v2_restores_permissions_after_dump(self, testbed):
+        app = build_wx_app(testbed, v2=True)
+        app.ecall_once(0, "write_code", b"x")
+        MigrationOrchestrator(testbed).checkpoint_enclave(app)
+        wx_vaddr = next(
+            p.vaddr
+            for p in app.image.pages
+            if Permissions.R not in p.sec_info.permissions
+            and p.sec_info.page_type.value == "reg"
+        )
+        hw = app.library.hw()
+        assert hw.page_permissions(wx_vaddr) == Permissions.W | Permissions.X

@@ -1,0 +1,61 @@
+"""Whole-VM suspend / resume (footnote 1, §V-C)."""
+
+import pytest
+
+from repro.errors import MigrationError
+from repro.migration.suspend import VmSuspendManager
+
+from tests.conftest import build_counter_app
+
+
+class TestVmSuspendResume:
+    def test_suspend_writes_image_and_pauses(self, testbed):
+        app = build_counter_app(testbed, tag="susp")
+        app.ecall_once(0, "incr", 5)
+        manager = VmSuspendManager(testbed, [app])
+        image = manager.suspend(reason="maintenance window")
+        assert testbed.source_vm.paused
+        assert image.size_bytes > image.ram_bytes  # snapshots included
+        assert len(image.snapshots) == 1
+
+    def test_resume_restores_every_enclave(self, testbed):
+        apps = [build_counter_app(testbed, tag=f"susp{i}") for i in range(2)]
+        for i, app in enumerate(apps):
+            app.ecall_once(0, "incr", 10 * (i + 1))
+        manager = VmSuspendManager(testbed, apps)
+        image = manager.suspend(reason="overnight shutdown")
+        resumed = manager.resume(image, reason="morning start")
+        assert [a.ecall_once(0, "read") for a in resumed] == [10, 20]
+
+    def test_double_suspend_rejected(self, testbed):
+        app = build_counter_app(testbed, tag="susp2x")
+        manager = VmSuspendManager(testbed, [app])
+        manager.suspend(reason="first")
+        with pytest.raises(MigrationError):
+            manager.suspend(reason="second")
+
+    def test_every_cycle_lands_in_the_audit_log(self, testbed):
+        app = build_counter_app(testbed, tag="suspaudit")
+        manager = VmSuspendManager(testbed, [app])
+        image = manager.suspend(reason="audit me")
+        manager.resume(image, reason="and me")
+        operations = [e.operation for e in testbed.owner.audit_log]
+        assert operations.count("snapshot") == 1
+        assert operations.count("resume") == 1
+
+    def test_image_resumable_twice_but_flagged(self, testbed):
+        """Resuming one image twice is the rollback §V-C makes auditable."""
+        app = build_counter_app(testbed, tag="susprb")
+        manager = VmSuspendManager(testbed, [app])
+        image = manager.suspend(reason="backup")
+        manager.resume(image, reason="legit", on_target=True)
+        manager.resume(image, reason="suspicious", on_target=False)
+        assert len(testbed.owner.suspicious_rollbacks()) == 1
+
+    def test_image_is_sealed(self, testbed):
+        app = build_counter_app(testbed, tag="suspseal")
+        app.ecall_once(0, "incr", 0xBEEF)
+        manager = VmSuspendManager(testbed, [app])
+        image = manager.suspend(reason="backup")
+        for snapshot in image.snapshots:
+            assert (0xBEEF).to_bytes(8, "little") not in snapshot.envelope.to_bytes()

@@ -1,0 +1,152 @@
+"""SDK builder and program registry."""
+
+import pytest
+
+from repro.sdk.builder import SdkBuilder
+from repro.sdk.image import (
+    CONTROL_ENTRY,
+    DISPATCH_ENTRY,
+    OBJ_BOOT,
+    OBJ_CHANNEL,
+    OBJ_IMAGE_PRIVKEY,
+    FLAG_FREE,
+)
+from repro.sdk.program import (
+    AtomicEntry,
+    EnclaveProgram,
+    ProgramError,
+    ResumableEntry,
+    lookup_program,
+    register_program,
+)
+from repro.sgx.structures import PAGE_SIZE, PageType, Permissions
+
+from tests.conftest import make_counter_program
+
+
+class TestProgramRegistry:
+    def test_register_and_lookup(self):
+        program = EnclaveProgram("tests/reg-v1")
+        register_program(program)
+        assert lookup_program("tests/reg-v1") is program
+
+    def test_unknown_code_id(self):
+        with pytest.raises(ProgramError):
+            lookup_program("tests/never-registered")
+
+    def test_conflicting_registration_rejected(self):
+        a = EnclaveProgram("tests/conflict-v1")
+        a.add_entry("x", AtomicEntry(lambda rt, args: None))
+        register_program(a)
+        b = EnclaveProgram("tests/conflict-v1")
+        b.add_entry("y", AtomicEntry(lambda rt, args: None))
+        with pytest.raises(ProgramError):
+            register_program(b)
+
+    def test_duplicate_entry_rejected(self):
+        program = EnclaveProgram("tests/dup-v1")
+        program.add_entry("x", AtomicEntry(lambda rt, args: None))
+        with pytest.raises(ProgramError):
+            program.add_entry("x", AtomicEntry(lambda rt, args: None))
+
+    def test_missing_entry(self):
+        program = EnclaveProgram("tests/missing-v1")
+        with pytest.raises(ProgramError):
+            program.entry("nope")
+
+    def test_atomic_cost_fn(self):
+        entry = AtomicEntry(lambda rt, args: None, cost_ns=10, cost_fn=lambda args: args * 2)
+        assert entry.cost_for(21) == 42
+        assert AtomicEntry(lambda rt, args: None, cost_ns=10).cost_for(None) == 10
+
+
+class TestBuilder:
+    def build(self, testbed, tag="bld", **kwargs):
+        return testbed.builder.build(
+            f"image-{tag}", make_counter_program(tag), n_workers=2,
+            global_names=("counter",), **kwargs
+        )
+
+    def test_global_flag_at_enclave_base(self, testbed):
+        built = self.build(testbed, "flag")
+        layout = built.image.layout
+        # "Our SDK puts the global flag at the beginning of enclave" (§IV-B).
+        assert layout.global_flag_vaddr() == layout.base
+
+    def test_control_thread_tcs_injected(self, testbed):
+        built = self.build(testbed, "ctrl")
+        image = built.image
+        assert image.layout.n_tcs == 3  # 2 workers + control
+        assert image.control_tcs.oentry == CONTROL_ENTRY
+        assert image.worker_tcs(0).oentry == DISPATCH_ENTRY
+
+    def test_builtin_object_slots_reserved(self, testbed):
+        built = self.build(testbed, "objs")
+        for name in (OBJ_IMAGE_PRIVKEY, OBJ_BOOT, OBJ_CHANNEL):
+            vaddr, capacity = built.image.layout.object_slot(name)
+            assert capacity >= PAGE_SIZE
+
+    def test_deterministic_build_measurement(self, testbed):
+        a = self.build(testbed, "det")
+        b = self.build(testbed, "det")
+        assert a.image.mrenclave == b.image.mrenclave
+
+    def test_different_program_different_measurement(self, testbed):
+        a = self.build(testbed, "prog-a")
+        b = self.build(testbed, "prog-b")
+        assert a.image.mrenclave != b.image.mrenclave
+
+    def test_image_keys_embedded(self, testbed):
+        built = self.build(testbed, "keys")
+        image = built.image
+        assert image.image_public_n == built.image_private_key.public.n
+        assert image.layout.key_page_len > 0
+        # The measured key page contains the public key in plaintext and
+        # only ciphertext for the private key.
+        key_page = next(p for p in image.pages if p.vaddr == image.layout.key_page_vaddr)
+        priv_bytes = built.image_private_key.private.d.to_bytes(128, "big")
+        assert priv_bytes not in key_page.content
+
+    def test_sigstruct_verifies_against_built_measurement(self, testbed):
+        built = self.build(testbed, "sig")
+        from repro.crypto.rsa import RsaPublicKey
+
+        signer = RsaPublicKey(built.image.sigstruct.signer_modulus, 65537)
+        signer.verify(built.image.sigstruct.signed_body(), built.image.sigstruct.signature)
+
+    def test_unreadable_page_option(self, testbed):
+        built = self.build(testbed, "wx", add_unreadable_page=True)
+        image = built.image
+        unreadable = [
+            p for p in image.pages
+            if p.sec_info.page_type is PageType.REG
+            and Permissions.R not in p.sec_info.permissions
+        ]
+        assert len(unreadable) == 1
+        assert unreadable[0].vaddr not in image.readable_reg_vaddrs()
+
+    def test_heap_layout(self, testbed):
+        built = self.build(testbed, "heap", heap_pages=7)
+        assert built.image.layout.heap_bytes == 7 * PAGE_SIZE
+
+    def test_ssa_regions_per_tcs(self, testbed):
+        built = self.build(testbed, "ssa", nssa=2)
+        image = built.image
+        for template in image.tcs_templates:
+            assert template.nssa == 2
+            # SSA pages are real REG pages inside the enclave.
+            for frame in range(2):
+                assert template.ossa + frame * PAGE_SIZE in image.used_reg_vaddrs()
+
+    def test_too_many_workers_for_image(self, testbed):
+        from repro.errors import MigrationError
+        from repro.sdk.host import HostApplication, WorkerSpec
+
+        built = self.build(testbed, "many")
+        with pytest.raises(MigrationError):
+            HostApplication(
+                testbed.source,
+                testbed.source_os,
+                built.image,
+                workers=[WorkerSpec("incr")] * 5,
+            )

@@ -1,0 +1,160 @@
+"""The in-enclave allocator and the §VI-C ocall trampolines."""
+
+import pytest
+
+from repro.errors import MigrationError
+from repro.migration.orchestrator import MigrationOrchestrator
+from repro.sdk.program import AtomicEntry, EnclaveProgram
+from repro.sdk.host import HostApplication
+from repro.sgx import instructions as isa
+
+from tests.conftest import build_counter_app
+
+
+@pytest.fixture
+def rt_session(testbed):
+    app = build_counter_app(testbed, tag="heap")
+    template = app.image.control_tcs
+    session = isa.eenter(testbed.source.cpu, app.library.hw(), template.vaddr)
+    rt = app.library._runtime(session)
+    yield app, rt
+    isa.eexit(session)
+
+
+class TestEnclaveHeap:
+    def test_malloc_returns_heap_addresses(self, rt_session):
+        app, rt = rt_session
+        addr = rt.malloc(64)
+        heap = app.image.layout
+        assert heap.heap_base <= addr < heap.heap_base + heap.heap_bytes
+
+    def test_allocations_do_not_overlap(self, rt_session):
+        _, rt = rt_session
+        blocks = [rt.malloc(100) for _ in range(8)]
+        for addr in blocks:
+            rt.write(addr, b"\xab" * 100)
+        ranges = sorted((a, a + 100) for a in blocks)
+        for (_, end), (start, _) in zip(ranges, ranges[1:]):
+            assert end <= start
+
+    def test_free_and_reuse(self, rt_session):
+        _, rt = rt_session
+        first = rt.malloc(256)
+        rt.free(first)
+        second = rt.malloc(256)
+        assert second == first  # first-fit reuses the freed block
+
+    def test_double_free_rejected(self, rt_session):
+        _, rt = rt_session
+        addr = rt.malloc(32)
+        rt.free(addr)
+        with pytest.raises(MigrationError):
+            rt.free(addr)
+
+    def test_free_of_garbage_rejected(self, rt_session):
+        _, rt = rt_session
+        with pytest.raises(MigrationError):
+            rt.free(0x1234)
+
+    def test_exhaustion(self, rt_session):
+        app, rt = rt_session
+        with pytest.raises(MigrationError):
+            rt.malloc(app.image.layout.heap_bytes * 2)
+
+    def test_coalescing_allows_big_realloc(self, rt_session):
+        app, rt = rt_session
+        quarter = app.image.layout.heap_bytes // 4
+        blocks = [rt.malloc(quarter - 64) for _ in range(3)]
+        for addr in blocks:
+            rt.free(addr)
+        # After coalescing, one allocation larger than any quarter fits.
+        rt.malloc(2 * quarter)
+
+    def test_bad_size_rejected(self, rt_session):
+        _, rt = rt_session
+        with pytest.raises(MigrationError):
+            rt.malloc(0)
+
+    def test_heap_contents_survive_migration(self, testbed):
+        program = EnclaveProgram("tests/heap-migrate-v1")
+
+        def store(rt, args):
+            addr = rt.malloc(len(args))
+            rt.write(addr, args)
+            rt.store_global("ptr", addr)
+            return addr
+
+        def load(rt, args):
+            addr = rt.load_global("ptr")
+            return rt.read(addr, int(args))
+
+        program.add_entry("store", AtomicEntry(store))
+        program.add_entry("load", AtomicEntry(load))
+        built = testbed.builder.build(
+            "heap-migrate", program, n_workers=1, heap_pages=4, global_names=("ptr",)
+        )
+        testbed.owner.register_image(built)
+        app = HostApplication(
+            testbed.source, testbed.source_os, built.image, [], owner=testbed.owner
+        ).launch()
+        app.ecall_once(0, "store", b"malloc'd state")
+        target = MigrationOrchestrator(testbed).migrate_enclave(app).target_app
+        assert target.ecall_once(0, "load", 14) == b"malloc'd state"
+
+
+class TestOcalls:
+    def build_app(self, testbed):
+        program = EnclaveProgram("tests/ocall-v1")
+
+        def fetch(rt, args):
+            # In-enclave code asks the untrusted host for data, then
+            # seals a digest of it into enclave memory.
+            payload = rt.ocall("read_file", {"path": args})
+            rt.store_global("length", len(payload))
+            return len(payload)
+
+        program.add_entry("fetch", AtomicEntry(fetch))
+        built = testbed.builder.build(
+            "ocall-app", program, n_workers=1, global_names=("length",)
+        )
+        testbed.owner.register_image(built)
+        return HostApplication(
+            testbed.source, testbed.source_os, built.image, [], owner=testbed.owner
+        )
+
+    def test_ocall_round_trip(self, testbed):
+        app = self.build_app(testbed)
+        app.library.register_ocall("read_file", lambda args: b"x" * 37)
+        app.launch()
+        assert app.ecall_once(0, "fetch", "/etc/data") == 37
+
+    def test_unregistered_ocall_rejected(self, testbed):
+        app = self.build_app(testbed)
+        app.launch()
+        with pytest.raises(MigrationError):
+            app.ecall_once(0, "fetch", "/etc/data")
+
+    def test_arguments_are_marshalled_not_shared(self, testbed):
+        app = self.build_app(testbed)
+        seen = {}
+
+        def handler(args):
+            seen["args"] = dict(args)
+            args["path"] = "mutated-by-host"  # must not reach enclave state
+            return b""
+
+        app.library.register_ocall("read_file", handler)
+        app.launch()
+        request = {"path": "original"}
+        app.ecall_once(0, "fetch", "original")
+        assert seen["args"] == {"path": "original"}
+        assert request["path"] == "original"
+
+    def test_live_objects_rejected_at_the_boundary(self, testbed):
+        from repro.serde import SerdeError
+
+        app = self.build_app(testbed)
+        app.library.register_ocall("read_file", lambda args: object())
+        app.launch()
+        with pytest.raises(SerdeError):
+            app.ecall_once(0, "fetch", "x")

@@ -1,0 +1,94 @@
+"""HostApplication and WorkerSpec behaviour."""
+
+import pytest
+
+from repro.migration.orchestrator import MigrationOrchestrator
+from repro.sdk.host import WorkerSpec
+
+from tests.conftest import build_counter_app
+
+
+class TestWorkerSpec:
+    def test_fixed_args(self):
+        spec = WorkerSpec("e", args=7)
+        assert spec.args_for(0) == 7
+        assert spec.args_for(5) == 7
+
+    def test_args_fn_overrides(self):
+        spec = WorkerSpec("e", args=7, args_fn=lambda i: i * 10)
+        assert spec.args_for(3) == 30
+
+
+class TestHostApplication:
+    def test_worker_loop_runs_repeat_times(self, testbed):
+        app = build_counter_app(
+            testbed, tag="host-loop", workers=[WorkerSpec("incr", args=1, repeat=4)]
+        )
+        testbed.source_os.run_until(
+            lambda: not [t for t in app.process.live_threads() if "worker" in t.name]
+        )
+        assert app.results["incr"] == [1, 2, 3, 4]
+        assert app.completed_iterations == [4]
+
+    def test_args_fn_drives_each_iteration(self, testbed):
+        app = build_counter_app(
+            testbed,
+            tag="host-argsfn",
+            workers=[WorkerSpec("incr", args_fn=lambda i: i + 1, repeat=3)],
+        )
+        testbed.source_os.run_until(
+            lambda: not [t for t in app.process.live_threads() if "worker" in t.name]
+        )
+        assert app.ecall_once(1, "read") == 1 + 2 + 3
+
+    def test_sleepy_workers_do_not_burn_vcpus(self, testbed):
+        app = build_counter_app(
+            testbed,
+            tag="host-sleep",
+            workers=[WorkerSpec("incr", args=1, repeat=3, think_time_ns=500_000)],
+        )
+        testbed.source_os.run_until(
+            lambda: not [t for t in app.process.live_threads() if "worker" in t.name]
+        )
+        # Virtual time covers the sleeps even though nothing else ran.
+        assert testbed.clock.now_ns >= 2 * 500_000
+        assert app.ecall_once(0, "read") == 3
+
+    def test_finished_loop_not_respawned_after_migration(self, testbed):
+        app = build_counter_app(
+            testbed, tag="host-done", workers=[WorkerSpec("incr", args=1, repeat=2)]
+        )
+        testbed.source_os.run_until(
+            lambda: not [t for t in app.process.live_threads() if "worker" in t.name]
+        )
+        result = MigrationOrchestrator(testbed).migrate_enclave(app)
+        target = result.target_app
+        for _ in range(3_000):
+            testbed.target_os.engine.step_round()
+        # The loop completed pre-migration; the target must not rerun it.
+        assert target.ecall_once(0, "read") == 2
+
+    def test_partial_loop_resumes_at_position(self, testbed):
+        app = build_counter_app(
+            testbed,
+            tag="host-partial",
+            workers=[WorkerSpec("slow_incr", args=40, repeat=3)],
+        )
+        # Let roughly one and a half iterations run.
+        testbed.source_os.run_until(lambda: app.completed_iterations[0] >= 1)
+        result = MigrationOrchestrator(testbed).migrate_enclave(app)
+        target = result.target_app
+        testbed.target_os.run_until(
+            lambda: not [t for t in target.process.live_threads() if "worker" in t.name],
+            max_rounds=500_000,
+        )
+        assert target.ecall_once(1, "read") == 3 * 40  # exactly three runs total
+
+    def test_results_dict_tracks_entries(self, testbed):
+        app = build_counter_app(
+            testbed, tag="host-results", workers=[WorkerSpec("read", repeat=2)]
+        )
+        testbed.source_os.run_until(
+            lambda: not [t for t in app.process.live_threads() if "worker" in t.name]
+        )
+        assert len(app.results["read"]) == 2

@@ -1,0 +1,86 @@
+"""Image/layout invariants the protocol relies on."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sgx.structures import PAGE_SIZE, PageType, Permissions
+
+from tests.conftest import make_counter_program
+
+
+def build(testbed, tag="layout", **kwargs):
+    return testbed.builder.build(
+        f"layout-{tag}", make_counter_program(f"layout-{tag}"),
+        global_names=("counter",), **kwargs
+    ).image
+
+
+class TestLayoutInvariants:
+    def test_pages_are_disjoint_and_aligned(self, testbed):
+        image = build(testbed, "disjoint")
+        vaddrs = [p.vaddr for p in image.pages]
+        assert len(vaddrs) == len(set(vaddrs))
+        assert all(v % PAGE_SIZE == 0 for v in vaddrs)
+        assert all(image.layout.base <= v < image.layout.base + image.layout.size for v in vaddrs)
+
+    def test_pages_are_contiguous_from_base(self, testbed):
+        image = build(testbed, "contig")
+        vaddrs = sorted(p.vaddr for p in image.pages)
+        expected = list(range(image.layout.base, image.layout.base + len(vaddrs) * PAGE_SIZE, PAGE_SIZE))
+        assert vaddrs == expected
+
+    def test_tcs_records_fit_in_control_block(self, testbed):
+        image = build(testbed, "records", n_workers=8)
+        last_record_end = image.layout.tcs_record_vaddr(image.layout.n_tcs - 1, 56) + 8
+        assert last_record_end <= image.layout.base + PAGE_SIZE
+
+    def test_object_slots_disjoint(self, testbed):
+        image = build(testbed, "objslots", data_objects={"a": 100, "b": 9000})
+        ranges = sorted(
+            (vaddr, vaddr + cap) for vaddr, cap in image.layout.objects_table.values()
+        )
+        for (_, end), (start, _) in zip(ranges, ranges[1:]):
+            assert end <= start
+
+    def test_object_capacity_rounded_to_pages(self, testbed):
+        image = build(testbed, "objcap", data_objects={"tiny": 1, "big": 5000})
+        assert image.layout.object_slot("tiny")[1] == PAGE_SIZE
+        assert image.layout.object_slot("big")[1] == 2 * PAGE_SIZE
+
+    def test_ssa_regions_do_not_overlap_stacks_or_tcs(self, testbed):
+        image = build(testbed, "ssa")
+        tcs_pages = {p.vaddr for p in image.pages if p.sec_info.page_type is PageType.TCS}
+        for template in image.tcs_templates:
+            for frame in range(template.nssa):
+                ssa_page = template.ossa + frame * PAGE_SIZE
+                assert ssa_page not in tcs_pages
+
+    def test_readable_vs_used_reg_pages(self, testbed):
+        image = build(testbed, "perm", add_unreadable_page=True)
+        used = set(image.used_reg_vaddrs())
+        readable = set(image.readable_reg_vaddrs())
+        assert readable < used
+        assert len(used - readable) == 1
+
+    def test_worker_lookup(self, testbed):
+        image = build(testbed, "lookup", n_workers=3)
+        assert image.n_workers == 3
+        assert image.worker_tcs(2).role == "worker"
+        assert image.control_tcs.role == "control"
+        with pytest.raises(IndexError):
+            image.worker_tcs(3)
+
+    @given(n_workers=st.integers(min_value=1, max_value=6), heap=st.integers(min_value=1, max_value=16))
+    @settings(max_examples=8, deadline=None)
+    def test_size_accounts_for_every_page(self, n_workers, heap):
+        from repro.migration.testbed import build_testbed
+
+        tb = build_testbed(seed=f"layout-{n_workers}-{heap}")
+        image = tb.builder.build(
+            f"prop-{n_workers}-{heap}",
+            make_counter_program(f"prop-{n_workers}-{heap}"),
+            n_workers=n_workers,
+            heap_pages=heap,
+            global_names=("counter",),
+        ).image
+        assert image.layout.size == len(image.pages) * PAGE_SIZE

@@ -1,0 +1,103 @@
+"""The enclave owner: provisioning, key grants, audit."""
+
+import pytest
+
+from repro.errors import AttestationError
+from repro.migration.agent import build_agent_image
+from repro.sdk import control
+from repro.sdk.host import HostApplication
+
+from tests.conftest import build_counter_app, make_counter_program
+
+
+class TestProvisioning:
+    def test_unregistered_image_rejected(self, testbed):
+        app = build_counter_app(testbed, tag="owner-unreg", provision=False)
+        quote, dh = app.library.control_call(
+            control.provision_request, testbed.source.quoting_enclave
+        )
+        with pytest.raises(AttestationError):
+            testbed.owner.provision("never-registered", quote, dh)
+
+    def test_wrong_image_rejected(self, testbed):
+        app_a = build_counter_app(testbed, tag="owner-a", provision=False)
+        build_counter_app(testbed, tag="owner-b", provision=False)
+        quote, dh = app_a.library.control_call(
+            control.provision_request, testbed.source.quoting_enclave
+        )
+        # A's quote presented as B: measurement check must fire.
+        with pytest.raises(Exception):
+            testbed.owner.provision("counter-owner-b", quote, dh)
+
+    def test_provisioning_charges_wan_time(self, testbed):
+        before = testbed.clock.now_ns
+        build_counter_app(testbed, tag="owner-wan", provision=True)
+        assert testbed.clock.now_ns - before >= 2 * testbed.costs.wan_round_trip_ns()
+
+    def test_provision_payload_opaque_on_wire(self, testbed):
+        """The sealed provisioning answer never exposes the private key."""
+        app = build_counter_app(testbed, tag="owner-opaque", provision=False)
+        quote, dh = app.library.control_call(
+            control.provision_request, testbed.source.quoting_enclave
+        )
+        built_key_d = None
+        # Find the registered image's private exponent via the owner.
+        record = testbed.owner._images[app.image.name]
+        built_key_d = record.built.image_private_key.private.d
+        _pub, sealed = testbed.owner.provision(app.image.name, quote, dh)
+        assert built_key_d.to_bytes(128, "big") not in sealed
+
+    def test_agent_measurement_provisioned(self, testbed):
+        agent_built = build_agent_image(testbed.builder)
+        testbed.owner.set_agent_image(agent_built)
+        app = build_counter_app(testbed, tag="owner-agent")
+        from repro.sgx import instructions as isa
+
+        session = isa.eenter(
+            testbed.source.cpu, app.library.hw(), app.image.control_tcs.vaddr
+        )
+        rt = app.library._runtime(session)
+        secrets = rt.load_obj("__image_privkey__")
+        assert secrets["agent_mr"] == agent_built.image.mrenclave
+        isa.eexit(session)
+
+
+class TestKeyGrants:
+    def test_snapshot_grant_creates_key_once(self, testbed):
+        app = build_counter_app(testbed, tag="grant")
+        record = testbed.owner._images[app.image.name]
+        assert record.kencrypt is None
+        quote, dh = app.library.control_call(
+            control.owner_key_request, testbed.source.quoting_enclave, "snapshot"
+        )
+        testbed.owner.grant_snapshot_key(app.image.name, quote, dh, "r1")
+        first_key = record.kencrypt
+        assert first_key is not None
+        quote2, dh2 = app.library.control_call(
+            control.owner_key_request, testbed.source.quoting_enclave, "snapshot"
+        )
+        testbed.owner.grant_snapshot_key(app.image.name, quote2, dh2, "r2")
+        assert record.kencrypt is first_key  # stable K_encrypt per image
+
+    def test_purpose_binding_enforced(self, testbed):
+        """A quote bound to 'snapshot' cannot be spent as 'resume'."""
+        app = build_counter_app(testbed, tag="purpose")
+        quote, dh = app.library.control_call(
+            control.owner_key_request, testbed.source.quoting_enclave, "snapshot"
+        )
+        testbed.owner.grant_snapshot_key(app.image.name, quote, dh, "ok")
+        with pytest.raises(AttestationError):
+            testbed.owner.grant_resume_key(app.image.name, quote, dh, "sneaky")
+
+    def test_record_snapshot_updates_audit(self, testbed):
+        app = build_counter_app(testbed, tag="recsnap")
+        quote, dh = app.library.control_call(
+            control.owner_key_request, testbed.source.quoting_enclave, "snapshot"
+        )
+        testbed.owner.grant_snapshot_key(app.image.name, quote, dh, "r")
+        testbed.owner.record_snapshot(app.image.name, 5)
+        assert testbed.owner.audit_log[-1].sequence == 5
+        assert testbed.owner._images[app.image.name].last_sequence == 5
+
+    def test_empty_audit_has_no_rollbacks(self, testbed):
+        assert testbed.owner.suspicious_rollbacks() == []

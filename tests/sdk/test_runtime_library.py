@@ -1,0 +1,176 @@
+"""In-enclave runtime and the untrusted SGX library."""
+
+import pytest
+
+from repro.errors import MigrationError, SgxAccessFault
+from repro.sdk import control
+from repro.sdk.host import HostApplication, WorkerSpec
+from repro.sdk.image import FLAG_BUSY, FLAG_FREE, FLAG_SPIN
+from repro.sgx import instructions as isa
+
+from tests.conftest import build_counter_app, make_counter_program
+
+
+@pytest.fixture
+def app(testbed):
+    return build_counter_app(testbed, tag="rtlib")
+
+
+def open_control(app):
+    template = app.image.control_tcs
+    session = isa.eenter(app.machine.cpu, app.library.hw(), template.vaddr)
+    rt = app.library._runtime(session)
+    return session, rt, template
+
+
+class TestRuntimeMemory:
+    def test_globals_roundtrip(self, app):
+        session, rt, _ = open_control(app)
+        rt.store_global("counter", 77)
+        assert rt.load_global("counter") == 77
+        isa.eexit(session)
+
+    def test_unknown_global(self, app):
+        session, rt, _ = open_control(app)
+        with pytest.raises(KeyError):
+            rt.load_global("nope")
+        isa.eexit(session)
+
+    def test_object_store_roundtrip(self, app):
+        session, rt, _ = open_control(app)
+        rt.store_obj("__boot__", {"dh_private": 12345, "blob": b"\x01\x02"})
+        assert rt.load_obj("__boot__") == {"dh_private": 12345, "blob": b"\x01\x02"}
+        rt.delete_obj("__boot__")
+        assert rt.load_obj("__boot__", default="gone") == "gone"
+        isa.eexit(session)
+
+    def test_object_capacity_enforced(self, app):
+        session, rt, _ = open_control(app)
+        with pytest.raises(MigrationError):
+            rt.store_obj("__boot__", {"big": b"\x00" * 5000})
+        isa.eexit(session)
+
+    def test_fault_handler_reloads_evicted_pages(self, testbed):
+        app = build_counter_app(testbed, tag="fault")
+        driver = testbed.source_os.driver
+        # Evict the globals page by hand, then access it through rt.
+        session, rt, _ = open_control(app)
+        vaddr = app.image.layout.global_slot("counter") & ~4095
+        driver._touch(app.library.enclave_id, vaddr)
+        # Force eviction of this specific page:
+        denc = driver._entry(app.library.enclave_id)
+        va_index, slot = driver._va_slot()
+        blob = isa.ewb(app.machine.cpu, denc.hw, vaddr, va_index, slot)
+        denc.evicted[vaddr] = (blob, va_index, slot)
+        testbed.source_vm.vepc.free_page(denc.gpa_map.pop(vaddr))
+        faults_before = driver.page_fault_count
+        rt.store_global("counter", 3)
+        assert rt.load_global("counter") == 3
+        assert driver.page_fault_count == faults_before + 1
+        isa.eexit(session)
+
+
+class TestStubs:
+    def test_entry_stub_records_cssa_eenter(self, app):
+        session, rt, template = open_control(app)
+        worker = app.image.worker_tcs(0)
+        # Simulate a worker entry: rax carried by this control session is
+        # 0; the stub stores it in the worker record we inspect.
+        rt.store_u64(app.image.layout.tcs_record_vaddr(worker.index, 8), 9)
+        assert rt.cssa_eenter(worker.index) == 9
+        isa.eexit(session)
+
+    def test_entry_stub_spin_when_flag_set(self, app):
+        session, rt, _ = open_control(app)
+        worker_index = app.image.worker_tcs(0).index
+        rt.set_global_flag(1)
+        isa.eexit(session)
+        worker_session = isa.eenter(
+            app.machine.cpu, app.library.hw(), app.image.worker_tcs(0).vaddr
+        )
+        worker_rt = app.library._runtime(worker_session)
+        assert worker_rt.entry_stub(worker_index) == "spin"
+        assert worker_rt.local_flag(worker_index) == FLAG_SPIN
+        isa.eexit(worker_session)
+
+    def test_entry_exit_stub_flag_lifecycle(self, app):
+        worker = app.image.worker_tcs(0)
+        session = isa.eenter(app.machine.cpu, app.library.hw(), worker.vaddr)
+        rt = app.library._runtime(session)
+        assert rt.local_flag(worker.index) == FLAG_FREE
+        assert rt.entry_stub(worker.index) == "proceed"
+        assert rt.local_flag(worker.index) == FLAG_BUSY
+        rt.exit_stub(worker.index)
+        assert rt.local_flag(worker.index) == FLAG_FREE
+        isa.eexit(session)
+
+    def test_quiescent_check(self, app):
+        session, rt, _ = open_control(app)
+        workers = [t.index for t in app.image.tcs_templates if t.role == "worker"]
+        assert rt.quiescent(workers)  # all free
+        rt.set_local_flag(workers[0], FLAG_BUSY)
+        assert not rt.quiescent(workers)
+        rt.set_local_flag(workers[0], FLAG_SPIN)
+        assert rt.quiescent(workers)
+        isa.eexit(session)
+
+
+class TestLibrary:
+    def test_atomic_ecall_returns_result(self, app):
+        assert app.ecall_once(0, "incr", 5) == 5
+        assert app.ecall_once(0, "incr", 2) == 7
+
+    def test_result_in_shared_memory(self, app):
+        app.ecall_once(0, "incr", 1)
+        assert app.process.shared_memory["result/incr/0"] == 1
+
+    def test_resumable_ecall_with_interrupts(self, testbed):
+        app = build_counter_app(testbed, tag="resumable")
+        aex_before = testbed.source.cpu.aex_count
+        result = app.ecall_once(0, "slow_incr", 100)
+        assert result == 100
+        # The long entry was periodically interrupted (AEX fired).
+        assert testbed.source.cpu.aex_count > aex_before
+
+    def test_two_workers_interleave(self, testbed):
+        app = build_counter_app(
+            testbed,
+            tag="interleave",
+            workers=[
+                WorkerSpec("slow_incr", args=50, repeat=1),
+                WorkerSpec("slow_incr", args=50, repeat=1),
+            ],
+        )
+        testbed.source_os.run_until(
+            lambda: not [t for t in app.process.live_threads() if "worker" in t.name]
+        )
+        final = app.ecall_once(0, "read")
+        assert final == 100  # both workers' increments landed
+
+    def test_migration_support_off_skips_stubs(self, testbed):
+        app = build_counter_app(testbed, tag="nosupport")
+        app.library.migration_support = False
+        worker = app.image.worker_tcs(0)
+        app.ecall_once(0, "incr", 1)
+        session, rt, _ = open_control(app)
+        # Without support the stub never recorded anything.
+        assert rt.cssa_eenter(worker.index) == 0
+        isa.eexit(session)
+
+    def test_launch_provisions_with_owner(self, app):
+        session, rt, _ = open_control(app)
+        assert rt.attested()
+        secrets = rt.load_obj("__image_privkey__")
+        assert secrets["n"] > 0 and secrets["d"] > 0
+        isa.eexit(session)
+
+    def test_launch_without_owner_not_attested(self, testbed):
+        app = build_counter_app(testbed, tag="noowner", provision=False)
+        session, rt, _ = open_control(app)
+        assert not rt.attested()
+        isa.eexit(session)
+
+    def test_destroy(self, testbed):
+        app = build_counter_app(testbed, tag="destroy")
+        app.destroy()
+        assert app.library.enclave_id is None

@@ -1,0 +1,160 @@
+"""Local attestation, quoting enclave, IAS and AVR verification."""
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.crypto.rsa import generate_rsa_keypair
+from repro.errors import AttestationError, QuoteRejected
+from repro.sgx import instructions as isa
+from repro.sgx.attestation import (
+    AttestationService,
+    QuotingEnclave,
+    provision_platform,
+    quote_for,
+    verify_avr,
+)
+from repro.sgx.structures import Quote, TargetInfo
+from repro.sim.clock import VirtualClock
+from repro.sim.costs import DEFAULT_COSTS
+from repro.sim.rng import DeterministicRng
+
+from tests.sgx.conftest import build_raw_enclave
+
+
+@pytest.fixture
+def ias():
+    clock = VirtualClock()
+    key = KeyPair(generate_rsa_keypair(DeterministicRng("ias-test")), "ias")
+    return AttestationService(clock, DEFAULT_COSTS, key)
+
+
+class TestLocalAttestation:
+    def test_report_verifies_on_same_cpu(self, cpu, vendor):
+        enclave_a, tcs_a = build_raw_enclave(cpu, vendor, data=b"A")
+        enclave_b, tcs_b = build_raw_enclave(cpu, vendor, data=b"B")
+        session_a = isa.eenter(cpu, enclave_a, tcs_a)
+        report = isa.ereport(
+            session_a, TargetInfo(enclave_b.secs.mrenclave), b"\x05" * 16
+        )
+        isa.eexit(session_a)
+        session_b = isa.eenter(cpu, enclave_b, tcs_b)
+        assert isa.verify_report(session_b, report)
+        isa.eexit(session_b)
+
+    def test_report_fails_on_other_cpu(self, cpu, second_cpu, vendor):
+        enclave_a, tcs_a = build_raw_enclave(cpu, vendor, data=b"A")
+        enclave_b, tcs_b = build_raw_enclave(second_cpu, vendor, data=b"B")
+        session_a = isa.eenter(cpu, enclave_a, tcs_a)
+        report = isa.ereport(
+            session_a, TargetInfo(enclave_b.secs.mrenclave), b"\x05" * 16
+        )
+        isa.eexit(session_a)
+        session_b = isa.eenter(second_cpu, enclave_b, tcs_b)
+        assert not isa.verify_report(session_b, report)
+        isa.eexit(session_b)
+
+    def test_report_fails_for_wrong_target(self, cpu, vendor):
+        enclave_a, tcs_a = build_raw_enclave(cpu, vendor, data=b"A")
+        enclave_b, tcs_b = build_raw_enclave(cpu, vendor, data=b"B")
+        enclave_c, tcs_c = build_raw_enclave(cpu, vendor, data=b"C")
+        session_a = isa.eenter(cpu, enclave_a, tcs_a)
+        report = isa.ereport(session_a, TargetInfo(enclave_b.secs.mrenclave), b"")
+        isa.eexit(session_a)
+        session_c = isa.eenter(cpu, enclave_c, tcs_c)
+        assert not isa.verify_report(session_c, report)
+        isa.eexit(session_c)
+
+    def test_report_carries_identity(self, cpu, vendor):
+        enclave, tcs = build_raw_enclave(cpu, vendor)
+        session = isa.eenter(cpu, enclave, tcs)
+        report = isa.ereport(session, TargetInfo(b"\x00" * 32), b"data")
+        assert report.mrenclave == enclave.secs.mrenclave
+        assert report.mrsigner == enclave.secs.mrsigner
+        assert report.report_data.startswith(b"data")
+        isa.eexit(session)
+
+    def test_oversized_report_data_rejected(self, cpu, vendor):
+        enclave, tcs = build_raw_enclave(cpu, vendor)
+        session = isa.eenter(cpu, enclave, tcs)
+        with pytest.raises(Exception):
+            isa.ereport(session, TargetInfo(b"\x00" * 32), b"x" * 65)
+        isa.eexit(session)
+
+
+class TestRemoteAttestation:
+    def test_full_quote_flow(self, cpu, vendor, ias):
+        qe = provision_platform(cpu, ias)
+        enclave, tcs = build_raw_enclave(cpu, vendor)
+        session = isa.eenter(cpu, enclave, tcs)
+        quote = quote_for(session, qe, b"\x01" * 32)
+        isa.eexit(session)
+        avr = ias.verify_quote(quote)
+        verify_avr(avr, ias.public_key, enclave.secs.mrenclave)
+
+    def test_unknown_platform_rejected(self, cpu, second_cpu, vendor, ias):
+        qe = provision_platform(cpu, ias)
+        # Second platform never registered with this IAS.
+        rogue_key = KeyPair(generate_rsa_keypair(DeterministicRng("rogue")), "rogue")
+        rogue_qe = QuotingEnclave(second_cpu, rogue_key)
+        enclave, tcs = build_raw_enclave(second_cpu, vendor)
+        session = isa.eenter(second_cpu, enclave, tcs)
+        quote = quote_for(session, rogue_qe, b"")
+        isa.eexit(session)
+        with pytest.raises(QuoteRejected):
+            ias.verify_quote(quote)
+
+    def test_forged_quote_signature_rejected(self, cpu, vendor, ias):
+        qe = provision_platform(cpu, ias)
+        enclave, tcs = build_raw_enclave(cpu, vendor)
+        session = isa.eenter(cpu, enclave, tcs)
+        quote = quote_for(session, qe, b"")
+        isa.eexit(session)
+        forged = Quote(
+            mrenclave=quote.mrenclave,
+            mrsigner=quote.mrsigner,
+            attributes=quote.attributes,
+            platform_id=quote.platform_id,
+            report_data=b"EVIL".ljust(64, b"\x00"),  # changed after signing
+            signature=quote.signature,
+        )
+        with pytest.raises(QuoteRejected):
+            ias.verify_quote(forged)
+
+    def test_quote_from_wrong_cpu_rejected_by_qe(self, cpu, second_cpu, vendor, ias):
+        qe = provision_platform(cpu, ias)
+        enclave, tcs = build_raw_enclave(second_cpu, vendor)
+        session = isa.eenter(second_cpu, enclave, tcs)
+        with pytest.raises(AttestationError):
+            quote_for(session, qe, b"")  # report MAC fails: different CPU
+        isa.eexit(session)
+
+    def test_avr_measurement_mismatch(self, cpu, vendor, ias):
+        qe = provision_platform(cpu, ias)
+        enclave, tcs = build_raw_enclave(cpu, vendor)
+        session = isa.eenter(cpu, enclave, tcs)
+        quote = quote_for(session, qe, b"")
+        isa.eexit(session)
+        avr = ias.verify_quote(quote)
+        with pytest.raises(QuoteRejected):
+            verify_avr(avr, ias.public_key, expected_mrenclave=b"\xde" * 32)
+
+    def test_avr_signed_by_someone_else_rejected(self, cpu, vendor, ias):
+        qe = provision_platform(cpu, ias)
+        enclave, tcs = build_raw_enclave(cpu, vendor)
+        session = isa.eenter(cpu, enclave, tcs)
+        quote = quote_for(session, qe, b"")
+        isa.eexit(session)
+        avr = ias.verify_quote(quote)
+        wrong_anchor = generate_rsa_keypair(DeterministicRng("not-ias")).public
+        with pytest.raises(Exception):
+            verify_avr(avr, wrong_anchor, enclave.secs.mrenclave)
+
+    def test_ias_charges_processing_time(self, cpu, vendor, ias):
+        qe = provision_platform(cpu, ias)
+        enclave, tcs = build_raw_enclave(cpu, vendor)
+        session = isa.eenter(cpu, enclave, tcs)
+        quote = quote_for(session, qe, b"")
+        isa.eexit(session)
+        before = ias._clock.now_ns
+        ias.verify_quote(quote)
+        assert ias._clock.now_ns > before

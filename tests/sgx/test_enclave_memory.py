@@ -1,0 +1,102 @@
+"""EnclaveHw memory mechanics: cross-page access, faults, isolation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import EnclavePageFault, SgxAccessFault
+from repro.sgx import instructions as isa
+from repro.sgx.structures import PAGE_SIZE
+
+from tests.sgx.conftest import BASE, build_raw_enclave
+
+
+class TestCrossPageAccess:
+    def test_read_spanning_pages(self, cpu, vendor):
+        enclave, tcs = build_raw_enclave(cpu, vendor, n_data_pages=3)
+        session = isa.eenter(cpu, enclave, tcs)
+        session.write(BASE + PAGE_SIZE - 4, b"ABCDEFGH")  # spans a boundary
+        assert session.read(BASE + PAGE_SIZE - 4, 8) == b"ABCDEFGH"
+        # And the two halves landed on different pages.
+        assert session.read(BASE + PAGE_SIZE - 4, 4) == b"ABCD"
+        assert session.read(BASE + PAGE_SIZE, 4) == b"EFGH"
+        isa.eexit(session)
+
+    def test_spanning_read_faults_if_any_page_evicted(self, cpu, vendor):
+        enclave, tcs = build_raw_enclave(cpu, vendor, n_data_pages=3)
+        va = isa.alloc_va_page(cpu)
+        isa.ewb(cpu, enclave, BASE + PAGE_SIZE, va, 0)
+        session = isa.eenter(cpu, enclave, tcs)
+        with pytest.raises(EnclavePageFault) as excinfo:
+            session.read(BASE + PAGE_SIZE - 4, 8)
+        assert excinfo.value.vaddr == BASE + PAGE_SIZE
+        isa.eexit(session)
+
+    @given(
+        offset=st.integers(min_value=0, max_value=2 * PAGE_SIZE - 64),
+        length=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_write_read_roundtrip_property(self, offset, length):
+        from repro.crypto.keys import KeyPair
+        from repro.crypto.rsa import generate_rsa_keypair
+        from repro.sgx.cpu import SgxCpu
+        from repro.sim.clock import VirtualClock
+        from repro.sim.costs import DEFAULT_COSTS
+        from repro.sim.rng import DeterministicRng
+        from repro.sim.trace import EventTrace
+
+        clock = VirtualClock()
+        cpu = SgxCpu("prop", clock, DEFAULT_COSTS, EventTrace(clock), DeterministicRng("p"), epc_pages=64)
+        vendor = KeyPair(generate_rsa_keypair(DeterministicRng("pv")), "v")
+        enclave, tcs = build_raw_enclave(cpu, vendor, n_data_pages=3)
+        session = isa.eenter(cpu, enclave, tcs)
+        payload = bytes((offset + i) % 256 for i in range(length))
+        session.write(BASE + offset, payload)
+        assert session.read(BASE + offset, length) == payload
+        isa.eexit(session)
+
+
+class TestIsolation:
+    def test_two_enclaves_cannot_alias_pages(self, cpu, vendor):
+        enclave_a, tcs_a = build_raw_enclave(cpu, vendor, data=b"AAAA")
+        # Second enclave at a different base cannot read A's range.
+        from repro.sgx.structures import PageType, Permissions, SecInfo, SigStruct, Tcs
+
+        base_b = BASE + 0x100000
+        enclave_b = isa.ecreate(cpu, base_b, 8 * PAGE_SIZE)
+        isa.eadd(cpu, enclave_b, base_b, b"BBBB", SecInfo(PageType.REG, Permissions.RW))
+        for i in range(2):
+            isa.eadd(cpu, enclave_b, base_b + (1 + i) * PAGE_SIZE, b"", SecInfo(PageType.REG, Permissions.RW))
+        tcs_vaddr_b = base_b + 3 * PAGE_SIZE
+        isa.eadd(
+            cpu, enclave_b, tcs_vaddr_b,
+            Tcs(tcs_vaddr_b, "main", ossa=base_b + PAGE_SIZE, nssa=2),
+            SecInfo(PageType.TCS, Permissions.NONE),
+        )
+        for page in enclave_b.mapped_vaddrs():
+            isa.eextend(cpu, enclave_b, page)
+        mr = enclave_b.measurement.value
+        unsigned = SigStruct(mr, "v", vendor.public.n, b"")
+        isa.einit(cpu, enclave_b, SigStruct(mr, "v", vendor.public.n, vendor.private.sign(unsigned.signed_body())))
+
+        session_b = isa.eenter(cpu, enclave_b, tcs_vaddr_b)
+        with pytest.raises(SgxAccessFault):
+            session_b.read(BASE, 4)  # A's address: outside B's range
+        assert session_b.read(base_b, 4) == b"BBBB"
+        isa.eexit(session_b)
+
+    def test_session_bound_to_its_enclave_pages_only(self, cpu, vendor):
+        enclave, tcs = build_raw_enclave(cpu, vendor)
+        session = isa.eenter(cpu, enclave, tcs)
+        unmapped = BASE + enclave.secs.size - PAGE_SIZE  # in range, never EADDed
+        with pytest.raises(SgxAccessFault):
+            session.read(unmapped, 4)
+        isa.eexit(session)
+
+    def test_hw_write_rejects_dead_enclave(self, cpu, vendor):
+        enclave, _ = build_raw_enclave(cpu, vendor)
+        isa.destroy_enclave(cpu, enclave)
+        from repro.errors import SgxInstructionFault
+
+        with pytest.raises(SgxInstructionFault):
+            enclave.hw_read(BASE, 4)

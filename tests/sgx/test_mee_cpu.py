@@ -1,0 +1,121 @@
+"""MEE sealing and CPU-level mechanics (charge collection, key scoping)."""
+
+import pytest
+
+from repro.crypto.keys import SymmetricKey
+from repro.errors import SgxMacMismatch
+from repro.sgx.mee import MemoryEncryptionEngine
+from repro.sgx.structures import PAGE_SIZE, PageType, Permissions
+
+
+@pytest.fixture
+def mee():
+    return MemoryEncryptionEngine(SymmetricKey(b"\x11" * 32, "cpu-a"))
+
+
+@pytest.fixture
+def other_mee():
+    return MemoryEncryptionEngine(SymmetricKey(b"\x22" * 32, "cpu-b"))
+
+
+PAGE = bytes(range(256)) * 16
+
+
+class TestMee:
+    def test_seal_unseal_roundtrip(self, mee):
+        sealed = mee.seal_page(PAGE, eid=3, vaddr=0x1000, page_type=PageType.REG,
+                               permissions=Permissions.RW, version=7)
+        assert mee.unseal_page(sealed, expected_version=7) == PAGE
+
+    def test_ciphertext_differs_from_plaintext(self, mee):
+        sealed = mee.seal_page(PAGE, 3, 0x1000, PageType.REG, Permissions.RW, 7)
+        assert sealed.ciphertext != PAGE
+
+    def test_cross_engine_rejected(self, mee, other_mee):
+        sealed = mee.seal_page(PAGE, 3, 0x1000, PageType.REG, Permissions.RW, 7)
+        with pytest.raises(SgxMacMismatch):
+            other_mee.unseal_page(sealed, expected_version=7)
+
+    def test_version_mismatch_rejected(self, mee):
+        sealed = mee.seal_page(PAGE, 3, 0x1000, PageType.REG, Permissions.RW, 7)
+        with pytest.raises(SgxMacMismatch):
+            mee.unseal_page(sealed, expected_version=8)
+
+    def test_metadata_is_authenticated(self, mee):
+        from dataclasses import replace
+
+        sealed = mee.seal_page(PAGE, 3, 0x1000, PageType.REG, Permissions.RW, 7)
+        for mutation in (
+            {"eid": 4},
+            {"vaddr": 0x2000},
+            {"page_type": PageType.TCS},
+        ):
+            forged = replace(sealed, **mutation)
+            with pytest.raises(SgxMacMismatch):
+                mee.unseal_page(forged, expected_version=7)
+
+    def test_tampered_ciphertext_rejected(self, mee):
+        from dataclasses import replace
+
+        sealed = mee.seal_page(PAGE, 3, 0x1000, PageType.REG, Permissions.RW, 7)
+        bad = replace(sealed, ciphertext=b"\x00" + sealed.ciphertext[1:])
+        with pytest.raises(SgxMacMismatch):
+            mee.unseal_page(bad, expected_version=7)
+
+    def test_same_page_different_versions_differ(self, mee):
+        a = mee.seal_page(PAGE, 3, 0x1000, PageType.REG, Permissions.RW, 1)
+        b = mee.seal_page(PAGE, 3, 0x1000, PageType.REG, Permissions.RW, 2)
+        assert a.ciphertext != b.ciphertext
+
+
+class TestCpuChargeCollection:
+    def test_charges_hit_clock_by_default(self, cpu):
+        before = cpu.clock.now_ns
+        cpu.charge(1234)
+        assert cpu.clock.now_ns == before + 1234
+
+    def test_collected_charges_deferred(self, cpu):
+        before = cpu.clock.now_ns
+        with cpu.collect_charges() as box:
+            cpu.charge(1000)
+            cpu.charge(500)
+        assert box[0] == 1500
+        assert cpu.clock.now_ns == before  # nothing hit the clock
+
+    def test_collection_nests_and_restores(self, cpu):
+        with cpu.collect_charges() as outer:
+            cpu.charge(10)
+            with cpu.collect_charges() as inner:
+                cpu.charge(5)
+            cpu.charge(1)
+        assert inner[0] == 5
+        assert outer[0] == 11
+        before = cpu.clock.now_ns
+        cpu.charge(7)  # back to direct mode
+        assert cpu.clock.now_ns == before + 7
+
+    def test_collection_restored_on_exception(self, cpu):
+        with pytest.raises(RuntimeError):
+            with cpu.collect_charges():
+                raise RuntimeError("boom")
+        before = cpu.clock.now_ns
+        cpu.charge(3)
+        assert cpu.clock.now_ns == before + 3
+
+
+class TestCpuKeyScoping:
+    def test_report_keys_differ_per_identity(self, cpu):
+        assert cpu._report_key_for(b"\x01" * 32) != cpu._report_key_for(b"\x02" * 32)
+
+    def test_seal_keys_differ_per_identity(self, cpu):
+        assert cpu._seal_key_for(b"a") != cpu._seal_key_for(b"b")
+
+    def test_keys_differ_per_cpu(self, cpu, second_cpu):
+        identity = b"\x01" * 32
+        assert cpu._report_key_for(identity) != second_cpu._report_key_for(identity)
+
+    def test_eids_monotone(self, cpu):
+        assert cpu.new_eid() < cpu.new_eid() < cpu.new_eid()
+
+    def test_versions_monotone(self, cpu):
+        assert cpu.next_version() < cpu.next_version()

@@ -1,0 +1,190 @@
+"""The §VII-B proposed hardware extensions for transparent migration."""
+
+import pytest
+
+from repro.errors import SgxInstructionFault, SgxMacMismatch
+from repro.sgx import instructions as isa
+from repro.sgx import proposed
+from repro.sgx.cpu import SgxCpu
+from repro.sim.clock import VirtualClock
+from repro.sim.costs import DEFAULT_COSTS
+from repro.sim.rng import DeterministicRng
+from repro.sim.trace import EventTrace
+
+from tests.sgx.conftest import BASE, build_raw_enclave
+
+
+def make_cpu(name):
+    clock = VirtualClock()
+    return SgxCpu(name, clock, DEFAULT_COSTS, EventTrace(clock), DeterministicRng(name), epc_pages=256)
+
+
+@pytest.fixture
+def machines():
+    return make_cpu("hw-src"), make_cpu("hw-tgt")
+
+
+def install_keys(src, tgt):
+    ce_src, ce_tgt = proposed.ControlEnclave(src), proposed.ControlEnclave(tgt)
+    keys = ce_src.negotiate_keys(ce_tgt)
+    proposed.eputkey(src, ce_src, keys)
+    proposed.eputkey(tgt, ce_tgt, keys)
+    return keys
+
+
+def hw_migrate(src, tgt, enclave):
+    proposed.emigrate(src, enclave)
+    blobs = [proposed.eswpout_secs(src, enclave)]
+    for vaddr in list(enclave.mapped_vaddrs()):
+        if enclave.page_present(vaddr):
+            blobs.append(proposed.eswpout(src, enclave, vaddr))
+    mac = proposed.finalize_stream(enclave)
+    new_enclave = proposed.eswpin_secs(tgt, blobs[0])
+    for blob in blobs[1:]:
+        proposed.eswpin(tgt, new_enclave, blob)
+    proposed.emigratedone(tgt, new_enclave, mac)
+    return new_enclave
+
+
+class TestKeyInstallation:
+    def test_eputkey_requires_control_enclave_on_same_cpu(self, machines):
+        src, tgt = machines
+        ce_src = proposed.ControlEnclave(src)
+        ce_tgt = proposed.ControlEnclave(tgt)
+        keys = ce_src.negotiate_keys(ce_tgt)
+        with pytest.raises(SgxInstructionFault):
+            proposed.eputkey(src, ce_tgt, keys)  # wrong machine's CE
+
+    def test_negotiation_requires_two_machines(self, machines):
+        src, _ = machines
+        ce = proposed.ControlEnclave(src)
+        with pytest.raises(SgxInstructionFault):
+            ce.negotiate_keys(proposed.ControlEnclave(src))
+
+    def test_operations_require_keys(self, machines, vendor):
+        src, _ = machines
+        enclave, _ = build_raw_enclave(src, vendor)
+        with pytest.raises(SgxInstructionFault):
+            proposed.emigrate(src, enclave)
+
+
+class TestTransparentMigration:
+    def test_full_migration_preserves_everything(self, machines, vendor):
+        src, tgt = machines
+        install_keys(src, tgt)
+        enclave, tcs_vaddr = build_raw_enclave(src, vendor, data=b"live state")
+        # Leave a thread mid-flight: CSSA = 1 with a saved context.
+        session = isa.eenter(src, enclave, tcs_vaddr)
+        session.write(BASE + 100, b"mutated")
+        isa.aex(session, {"pc": 42})
+
+        new_enclave = hw_migrate(src, tgt, enclave)
+
+        assert new_enclave.secs.mrenclave == enclave.secs.mrenclave
+        assert not new_enclave.frozen
+        # CSSA migrated transparently — the thing SGX v1 cannot do.
+        resumed, ctx = isa.eresume(tgt, new_enclave, tcs_vaddr)
+        assert ctx == {"pc": 42}
+        assert resumed.read(BASE, 10) == b"live state"
+        assert resumed.read(BASE + 100, 7) == b"mutated"
+        isa.eexit(resumed)
+
+    def test_frozen_source_cannot_run(self, machines, vendor):
+        src, tgt = machines
+        install_keys(src, tgt)
+        enclave, tcs_vaddr = build_raw_enclave(src, vendor)
+        proposed.emigrate(src, enclave)
+        with pytest.raises(SgxInstructionFault):
+            isa.eenter(src, enclave, tcs_vaddr)
+
+    def test_emigrate_requires_quiescence(self, machines, vendor):
+        src, tgt = machines
+        install_keys(src, tgt)
+        enclave, tcs_vaddr = build_raw_enclave(src, vendor)
+        isa.eenter(src, enclave, tcs_vaddr)  # logical processor inside
+        with pytest.raises(SgxInstructionFault):
+            proposed.emigrate(src, enclave)
+
+    def test_eswpout_requires_emigrate(self, machines, vendor):
+        src, tgt = machines
+        install_keys(src, tgt)
+        enclave, _ = build_raw_enclave(src, vendor)
+        with pytest.raises(SgxInstructionFault):
+            proposed.eswpout(src, enclave, BASE)
+
+    def test_swapped_pages_are_ciphertext(self, machines, vendor):
+        src, tgt = machines
+        install_keys(src, tgt)
+        enclave, _ = build_raw_enclave(src, vendor, data=b"FIND-ME-PLAINTEXT")
+        proposed.emigrate(src, enclave)
+        blob = proposed.eswpout(src, enclave, BASE)
+        assert b"FIND-ME-PLAINTEXT" not in blob.ciphertext
+
+    def test_tampered_page_rejected(self, machines, vendor):
+        src, tgt = machines
+        install_keys(src, tgt)
+        enclave, _ = build_raw_enclave(src, vendor)
+        proposed.emigrate(src, enclave)
+        secs_blob = proposed.eswpout_secs(src, enclave)
+        blob = proposed.eswpout(src, enclave, BASE)
+        bad = proposed.MigratablePage(
+            blob.kind, blob.vaddr, blob.seq, b"\x00" + blob.ciphertext[1:], blob.mac
+        )
+        new_enclave = proposed.eswpin_secs(tgt, secs_blob)
+        with pytest.raises(SgxMacMismatch):
+            proposed.eswpin(tgt, new_enclave, bad)
+
+    def test_missing_page_caught_by_emigratedone(self, machines, vendor):
+        src, tgt = machines
+        install_keys(src, tgt)
+        enclave, _ = build_raw_enclave(src, vendor)
+        proposed.emigrate(src, enclave)
+        blobs = [proposed.eswpout_secs(src, enclave)]
+        for vaddr in list(enclave.mapped_vaddrs()):
+            if enclave.page_present(vaddr):
+                blobs.append(proposed.eswpout(src, enclave, vaddr))
+        mac = proposed.finalize_stream(enclave)
+        new_enclave = proposed.eswpin_secs(tgt, blobs[0])
+        for blob in blobs[1:-1]:  # drop the last page
+            proposed.eswpin(tgt, new_enclave, blob)
+        with pytest.raises(SgxMacMismatch):
+            proposed.emigratedone(tgt, new_enclave, mac)
+
+    def test_wrong_keys_on_target_rejected(self, machines, vendor):
+        src, tgt = machines
+        install_keys(src, tgt)
+        enclave, _ = build_raw_enclave(src, vendor)
+        proposed.emigrate(src, enclave)
+        secs_blob = proposed.eswpout_secs(src, enclave)
+        # A third machine with different keys cannot import the stream.
+        third = make_cpu("hw-third")
+        install_keys(src, third)  # overwrites src keys too, but target
+        # of the *original* stream is what matters: third's keys differ
+        # from the stream's keys only if negotiation re-ran; force it:
+        other = make_cpu("hw-other")
+        install_keys(third, other)
+        with pytest.raises(SgxMacMismatch):
+            proposed.eswpin_secs(third, secs_blob)
+
+    def test_echangeout_rekeys_evicted_pages(self, machines, vendor):
+        src, tgt = machines
+        install_keys(src, tgt)
+        enclave, _ = build_raw_enclave(src, vendor, n_data_pages=2, data=b"evicted page")
+        # Evict one page the classic way first.
+        va = isa.alloc_va_page(src)
+        evicted = isa.ewb(src, enclave, BASE, va, 0)
+        proposed.emigrate(src, enclave)
+        blobs = [proposed.eswpout_secs(src, enclave)]
+        blobs.append(proposed.echangeout(src, enclave, evicted, va, 0))
+        for vaddr in list(enclave.mapped_vaddrs()):
+            if enclave.page_present(vaddr):
+                blobs.append(proposed.eswpout(src, enclave, vaddr))
+        mac = proposed.finalize_stream(enclave)
+        new_enclave = proposed.eswpin_secs(tgt, blobs[0])
+        for blob in blobs[1:]:
+            proposed.eswpin(tgt, new_enclave, blob)
+        proposed.emigratedone(tgt, new_enclave, mac)
+        tcs_vaddr = max(new_enclave.mapped_vaddrs())
+        session = isa.eenter(tgt, new_enclave, tcs_vaddr)
+        assert session.read(BASE, 12) == b"evicted page"
+        isa.eexit(session)

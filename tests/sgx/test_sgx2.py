@@ -1,0 +1,113 @@
+"""SGX v2 dynamic memory management and the §IV-B migration gap."""
+
+import pytest
+
+from repro.errors import SgxAccessFault, SgxInstructionFault
+from repro.sgx import instructions as isa
+from repro.sgx import sgx2
+from repro.sgx.structures import PAGE_SIZE, Permissions
+
+from tests.sgx.conftest import BASE, build_raw_enclave
+
+
+def build_with_wx_page(cpu, vendor):
+    """An enclave with one W+X (non-readable) page, built the v1 way."""
+    from repro.crypto.keys import KeyPair
+    from repro.sgx.structures import PageType, SecInfo, SigStruct, Tcs
+
+    enclave = isa.ecreate(cpu, BASE, 16 * PAGE_SIZE)
+    isa.eadd(cpu, enclave, BASE, b"data page", SecInfo(PageType.REG, Permissions.RW))
+    wx_vaddr = BASE + PAGE_SIZE
+    isa.eadd(
+        cpu, enclave, wx_vaddr, b"jit code bytes",
+        SecInfo(PageType.REG, Permissions.W | Permissions.X),
+    )
+    ossa = BASE + 2 * PAGE_SIZE
+    for i in range(2):
+        isa.eadd(cpu, enclave, ossa + i * PAGE_SIZE, b"", SecInfo(PageType.REG, Permissions.RW))
+    tcs_vaddr = BASE + 4 * PAGE_SIZE
+    tcs = Tcs(tcs_vaddr, "main", ossa=ossa, nssa=2)
+    isa.eadd(cpu, enclave, tcs_vaddr, tcs, SecInfo(PageType.TCS, Permissions.NONE))
+    for page in enclave.mapped_vaddrs():
+        isa.eextend(cpu, enclave, page)
+    mrenclave = enclave.measurement.value
+    unsigned = SigStruct(mrenclave, "v", vendor.public.n, b"")
+    isa.einit(
+        cpu, enclave,
+        SigStruct(mrenclave, "v", vendor.public.n, vendor.private.sign(unsigned.signed_body())),
+    )
+    return enclave, tcs_vaddr, wx_vaddr
+
+
+class TestEaug:
+    def test_eaug_then_eaccept_grows_the_enclave(self, cpu, vendor):
+        enclave, tcs_vaddr = build_raw_enclave(cpu, vendor)
+        new_vaddr = max(enclave.mapped_vaddrs()) + PAGE_SIZE
+        sgx2.eaug(cpu, enclave, new_vaddr)
+        session = isa.eenter(cpu, enclave, tcs_vaddr)
+        # Before EACCEPT the page is unusable.
+        with pytest.raises(SgxAccessFault):
+            session.read(new_vaddr, 8)
+        sgx2.eaccept(session, new_vaddr)
+        session.write(new_vaddr, b"grown")
+        assert session.read(new_vaddr, 5) == b"grown"
+        isa.eexit(session)
+
+    def test_eaug_before_einit_rejected(self, cpu):
+        enclave = isa.ecreate(cpu, BASE, 4 * PAGE_SIZE)
+        with pytest.raises(SgxInstructionFault):
+            sgx2.eaug(cpu, enclave, BASE)
+
+    def test_eaccept_without_pending_rejected(self, cpu, vendor):
+        enclave, tcs_vaddr = build_raw_enclave(cpu, vendor)
+        session = isa.eenter(cpu, enclave, tcs_vaddr)
+        with pytest.raises(SgxInstructionFault):
+            sgx2.eaccept(session, BASE)
+        isa.eexit(session)
+
+
+class TestPermissionChanges:
+    def test_emodpe_extends_immediately(self, cpu, vendor):
+        enclave, tcs_vaddr, wx_vaddr = build_with_wx_page(cpu, vendor)
+        session = isa.eenter(cpu, enclave, tcs_vaddr)
+        with pytest.raises(SgxAccessFault):
+            session.read(wx_vaddr, 4)
+        sgx2.emodpe(session, wx_vaddr, Permissions.R)
+        assert session.read(wx_vaddr, 14) == b"jit code bytes"
+        isa.eexit(session)
+
+    def test_emodpr_requires_eaccept(self, cpu, vendor):
+        enclave, tcs_vaddr = build_raw_enclave(cpu, vendor)
+        sgx2.emodpr(cpu, enclave, BASE, Permissions.R)  # drop W
+        session = isa.eenter(cpu, enclave, tcs_vaddr)
+        session.write(BASE, b"still writable")  # not yet effective
+        sgx2.eaccept(session, BASE)
+        with pytest.raises(SgxAccessFault):
+            session.write(BASE, b"now it is not")
+        isa.eexit(session)
+
+    def test_emodpr_cannot_extend(self, cpu, vendor):
+        enclave, tcs_vaddr, wx_vaddr = build_with_wx_page(cpu, vendor)
+        with pytest.raises(SgxInstructionFault):
+            sgx2.emodpr(cpu, enclave, wx_vaddr, Permissions.RWX)
+
+
+class TestV2ClosesTheMigrationGap:
+    def test_wx_page_dumpable_with_v2(self, cpu, vendor):
+        """§IV-B: the v1-unmigratable W+X page dumps fine under EDMM."""
+        enclave, tcs_vaddr, wx_vaddr = build_with_wx_page(cpu, vendor)
+        session = isa.eenter(cpu, enclave, tcs_vaddr)
+        data = sgx2.dump_unreadable_page_v2(session, wx_vaddr)
+        assert data.startswith(b"jit code bytes")
+        # Original permissions are restored after the dump.
+        assert enclave.page_permissions(wx_vaddr) == Permissions.W | Permissions.X
+        with pytest.raises(SgxAccessFault):
+            session.read(wx_vaddr, 4)
+        isa.eexit(session)
+
+    def test_readable_pages_take_the_plain_path(self, cpu, vendor):
+        enclave, tcs_vaddr = build_raw_enclave(cpu, vendor, data=b"ordinary")
+        session = isa.eenter(cpu, enclave, tcs_vaddr)
+        data = sgx2.dump_unreadable_page_v2(session, BASE)
+        assert data.startswith(b"ordinary")
+        isa.eexit(session)

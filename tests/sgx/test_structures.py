@@ -1,0 +1,84 @@
+"""Architectural structure serialization and determinism."""
+
+import pytest
+
+from repro.errors import SgxAccessFault
+from repro.sgx.structures import (
+    PAGE_SIZE,
+    PageType,
+    Permissions,
+    Report,
+    SecInfo,
+    SsaFrame,
+    Tcs,
+)
+
+
+class TestSecInfo:
+    def test_serialization_fixed_width(self):
+        blob = SecInfo(PageType.REG, Permissions.RW).to_bytes()
+        assert len(blob) == 64
+
+    def test_distinct_permissions_distinct_bytes(self):
+        a = SecInfo(PageType.REG, Permissions.RW).to_bytes()
+        b = SecInfo(PageType.REG, Permissions.RX).to_bytes()
+        assert a != b
+
+
+class TestTcs:
+    def test_template_bytes_exclude_runtime_state(self):
+        tcs = Tcs(0x1000, "main", ossa=0x2000, nssa=2)
+        before = tcs.to_bytes()
+        tcs._cssa = 2
+        tcs._active = True
+        assert tcs.to_bytes() == before  # measured template is stable
+
+    def test_software_cannot_read_hardware_fields(self):
+        tcs = Tcs(0x1000, "main", ossa=0x2000, nssa=2)
+        with pytest.raises(SgxAccessFault):
+            _ = tcs.cssa
+        with pytest.raises(SgxAccessFault):
+            _ = tcs.active
+
+
+class TestSsaFrame:
+    def test_roundtrip(self):
+        frame = SsaFrame({"pc": 3, "regs": {"x": b"\x01\x02"}})
+        assert SsaFrame.from_bytes(frame.to_bytes()).context == frame.context
+
+    def test_empty_frame(self):
+        assert SsaFrame.from_bytes(SsaFrame({}).to_bytes()).context == {}
+
+
+class TestReport:
+    def test_body_excludes_mac(self):
+        kwargs = dict(
+            mrenclave=b"\x01" * 32,
+            mrsigner=b"\x02" * 32,
+            attributes=0,
+            cpu_id=b"\x03" * 16,
+            report_data=b"\x04" * 64,
+        )
+        a = Report(**kwargs, mac=b"\xaa" * 32)
+        b = Report(**kwargs, mac=b"\xbb" * 32)
+        assert a.body() == b.body()
+
+    def test_body_binds_every_identity_field(self):
+        base = dict(
+            mrenclave=b"\x01" * 32,
+            mrsigner=b"\x02" * 32,
+            attributes=0,
+            cpu_id=b"\x03" * 16,
+            report_data=b"\x04" * 64,
+            mac=b"",
+        )
+        reference = Report(**base).body()
+        for mutated_field, value in (
+            ("mrenclave", b"\x09" * 32),
+            ("mrsigner", b"\x09" * 32),
+            ("attributes", 1),
+            ("cpu_id", b"\x09" * 16),
+            ("report_data", b"\x09" * 64),
+        ):
+            mutated = dict(base, **{mutated_field: value})
+            assert Report(**mutated).body() != reference

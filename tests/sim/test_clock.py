@@ -1,0 +1,84 @@
+"""Virtual clock semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.clock import NS_PER_MS, NS_PER_US, Stopwatch, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now_ns == 0
+
+    def test_custom_start(self):
+        assert VirtualClock(500).now_ns == 500
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(-1)
+
+    def test_advance_accumulates(self, clock):
+        clock.advance(100)
+        clock.advance(250)
+        assert clock.now_ns == 350
+
+    def test_advance_returns_new_time(self, clock):
+        assert clock.advance(42) == 42
+
+    def test_negative_advance_rejected(self, clock):
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+    def test_zero_advance_allowed(self, clock):
+        clock.advance(0)
+        assert clock.now_ns == 0
+
+    def test_advance_to_moves_forward_only(self, clock):
+        clock.advance_to(1000)
+        assert clock.now_ns == 1000
+        clock.advance_to(500)  # earlier time: no-op
+        assert clock.now_ns == 1000
+
+    def test_unit_conversions(self, clock):
+        clock.advance(2_500_000)
+        assert clock.now_us == 2_500_000 / NS_PER_US
+        assert clock.now_ms == 2_500_000 / NS_PER_MS
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**12), max_size=50))
+    def test_advance_sums_exactly(self, deltas):
+        clock = VirtualClock()
+        for delta in deltas:
+            clock.advance(delta)
+        assert clock.now_ns == sum(deltas)
+
+
+class TestStopwatch:
+    def test_measures_interval(self, clock):
+        watch = clock.stopwatch()
+        clock.advance(750)
+        assert watch.elapsed_ns == 750
+
+    def test_stop_freezes(self, clock):
+        watch = clock.stopwatch()
+        clock.advance(100)
+        assert watch.stop() == 100
+        clock.advance(900)
+        assert watch.elapsed_ns == 100
+
+    def test_restart(self, clock):
+        watch = clock.stopwatch()
+        clock.advance(100)
+        watch.restart()
+        clock.advance(50)
+        assert watch.elapsed_ns == 50
+
+    def test_unit_properties(self, clock):
+        watch = clock.stopwatch()
+        clock.advance(3_000_000)
+        assert watch.elapsed_us == pytest.approx(3000.0)
+        assert watch.elapsed_ms == pytest.approx(3.0)
+
+    def test_stopwatch_starts_at_current_time(self, clock):
+        clock.advance(500)
+        watch = Stopwatch(clock)
+        assert watch.elapsed_ns == 0

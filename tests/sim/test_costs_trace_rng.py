@@ -1,0 +1,130 @@
+"""Cost model, event trace and deterministic RNG."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.clock import VirtualClock
+from repro.sim.costs import CostModel, DEFAULT_COSTS
+from repro.sim.rng import DeterministicRng
+from repro.sim.trace import EventTrace
+
+
+class TestCostModel:
+    def test_cipher_costs_are_per_byte(self, costs):
+        assert costs.cipher_ns("rc4", 2000) == 2 * costs.cipher_ns("rc4", 1000)
+
+    def test_paper_calibration_rc4(self, costs):
+        # "we use RC4 ... the output size is 20KB.  The encryption process
+        # takes about 200us" (§VIII-B).
+        assert costs.cipher_ns("rc4", 20 * 1024) == pytest.approx(200_000, rel=0.05)
+
+    def test_paper_calibration_des(self, costs):
+        # "If DES is chosen ... about 300us."
+        assert costs.cipher_ns("des", 20 * 1024) == pytest.approx(300_000, rel=0.05)
+
+    def test_des_slower_than_rc4(self, costs):
+        assert costs.cipher_ns("des", 4096) > costs.cipher_ns("rc4", 4096)
+
+    def test_aes_ni_fastest(self, costs):
+        for other in ("rc4", "des", "aes"):
+            assert costs.cipher_ns("aes-ni", 4096) < costs.cipher_ns(other, 4096)
+
+    def test_unknown_cipher_rejected(self, costs):
+        with pytest.raises(ValueError):
+            costs.cipher_ns("rot13", 100)
+
+    def test_net_transfer_includes_latency(self, costs):
+        assert costs.net_transfer_ns(0) == costs.net_latency_ns
+
+    def test_net_transfer_scales_with_size(self, costs):
+        small = costs.net_transfer_ns(1_000_000)
+        large = costs.net_transfer_ns(10_000_000)
+        assert large > small
+
+    def test_enclave_build_scales_with_pages(self, costs):
+        assert costs.enclave_build_ns(100) > costs.enclave_build_ns(10)
+
+    def test_frozen(self, costs):
+        with pytest.raises(AttributeError):
+            costs.rc4_ns_per_byte = 1.0
+
+    def test_custom_model(self):
+        fast_net = CostModel(net_bandwidth_bytes_per_s=10 * DEFAULT_COSTS.net_bandwidth_bytes_per_s)
+        assert fast_net.net_transfer_ns(10**8) < DEFAULT_COSTS.net_transfer_ns(10**8)
+
+
+class TestEventTrace:
+    def test_emit_records_time(self, clock, trace):
+        clock.advance(123)
+        event = trace.emit("cat", "thing", value=7)
+        assert event.t_ns == 123
+        assert event.payload == {"value": 7}
+
+    def test_select_filters(self, trace):
+        trace.emit("a", "x")
+        trace.emit("a", "y")
+        trace.emit("b", "x")
+        assert trace.count_of(category="a") == 2
+        assert trace.count_of(name="x") == 2
+        assert trace.count_of(category="b", name="x") == 1
+
+    def test_first_and_last(self, clock, trace):
+        trace.emit("c", "e", i=1)
+        clock.advance(10)
+        trace.emit("c", "e", i=2)
+        assert trace.first("c", "e").payload["i"] == 1
+        assert trace.last("c", "e").payload["i"] == 2
+
+    def test_missing_returns_none(self, trace):
+        assert trace.first("nope") is None
+        assert trace.last("nope") is None
+
+    def test_counters(self, trace):
+        trace.count("aex")
+        trace.count("aex", 4)
+        assert trace.counter("aex") == 5
+        assert trace.counter("never") == 0
+
+    def test_payload_may_shadow_parameter_names(self, trace):
+        event = trace.emit("kvm", "create", name="vm-1", category="x")
+        assert event.payload["name"] == "vm-1"
+
+    def test_clear(self, trace):
+        trace.emit("a", "b")
+        trace.count("c")
+        trace.clear()
+        assert trace.events == []
+        assert trace.counter("c") == 0
+
+
+class TestDeterministicRng:
+    def test_same_seed_same_stream(self):
+        a, b = DeterministicRng(7), DeterministicRng(7)
+        assert a.bytes(32) == b.bytes(32)
+        assert a.u64() == b.u64()
+
+    def test_different_seeds_differ(self):
+        assert DeterministicRng(1).bytes(32) != DeterministicRng(2).bytes(32)
+
+    def test_fork_is_independent_of_draw_order(self):
+        a = DeterministicRng(7)
+        a.bytes(100)  # consume some
+        b = DeterministicRng(7)
+        assert a.fork("x").bytes(16) == b.fork("x").bytes(16)
+
+    def test_fork_labels_distinct(self):
+        root = DeterministicRng(7)
+        assert root.fork("x").bytes(16) != root.fork("y").bytes(16)
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_randint_in_range(self, seed):
+        rng = DeterministicRng(seed)
+        value = rng.randint(10, 20)
+        assert 10 <= value <= 20
+
+    def test_shuffle_is_permutation(self):
+        rng = DeterministicRng(3)
+        items = list(range(50))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items

@@ -1,0 +1,69 @@
+"""Property-based tests of the scheduling engine."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.clock import VirtualClock
+from repro.sim.engine import Engine, SimThread
+
+
+@given(
+    n_vcpus=st.integers(min_value=1, max_value=8),
+    thread_steps=st.lists(
+        st.lists(st.integers(min_value=0, max_value=10_000), max_size=20),
+        min_size=1,
+        max_size=12,
+    ),
+)
+@settings(max_examples=40, deadline=None)
+def test_all_work_completes_and_clock_bounds_hold(n_vcpus, thread_steps):
+    """For any workload: everything finishes, and the elapsed virtual
+    time lies between the critical path (longest single thread) and the
+    serial sum plus switching overhead."""
+    clock = VirtualClock()
+    engine = Engine(clock, n_vcpus=n_vcpus, context_switch_ns=100)
+
+    def body(costs):
+        for cost in costs:
+            yield cost
+
+    threads = [engine.spawn(f"t{i}", body(c)) for i, c in enumerate(thread_steps)]
+    engine.run_all()
+    assert all(t.finished for t in threads)
+    critical_path = max((sum(c) for c in thread_steps), default=0)
+    serial = sum(sum(c) for c in thread_steps)
+    switches = engine.rounds_run * 100
+    assert clock.now_ns >= critical_path
+    assert clock.now_ns <= serial + switches + 1
+
+
+@given(
+    costs=st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=30)
+)
+@settings(max_examples=30, deadline=None)
+def test_cpu_time_equals_declared_costs(costs):
+    clock = VirtualClock()
+    engine = Engine(clock, n_vcpus=2)
+
+    def body():
+        for cost in costs:
+            yield cost
+
+    thread = engine.spawn("t", body())
+    engine.run_all()
+    assert thread.cpu_time_ns == sum(costs)
+
+
+@given(n_threads=st.integers(min_value=2, max_value=10))
+@settings(max_examples=15, deadline=None)
+def test_single_vcpu_serializes_exactly(n_threads):
+    """On one VCPU, elapsed time is the serial sum plus context switches."""
+    clock = VirtualClock()
+    engine = Engine(clock, n_vcpus=1, context_switch_ns=7)
+    for i in range(n_threads):
+        engine.spawn(f"t{i}", iter([100, 100]))
+    engine.run_all()
+    work = n_threads * 200
+    # Context switches charged only while more than one thread is ready.
+    assert clock.now_ns >= work
+    assert clock.now_ns <= work + engine.rounds_run * 7

@@ -1,0 +1,63 @@
+"""Idle-tick semantics: time passes when every thread sleeps."""
+
+import pytest
+
+from repro.sim.clock import VirtualClock
+from repro.sim.engine import Block, Engine, EngineStall
+
+
+class TestIdleTick:
+    def test_clock_advances_through_sleep(self):
+        clock = VirtualClock()
+        engine = Engine(clock, n_vcpus=2)
+        wake_at = 100_000
+
+        def sleeper():
+            yield Block(lambda: clock.now_ns >= wake_at)
+            yield 10
+        thread = engine.spawn("sleeper", sleeper())
+        engine.run_all()
+        assert thread.finished
+        assert clock.now_ns >= wake_at
+
+    def test_mixed_sleepers_and_workers(self):
+        clock = VirtualClock()
+        engine = Engine(clock, n_vcpus=2)
+        order = []
+
+        def sleeper():
+            yield Block(lambda: clock.now_ns >= 50_000)
+            order.append("woke")
+
+        def worker():
+            for _ in range(100):
+                yield 1_000
+            order.append("worked")
+        engine.spawn("s", sleeper())
+        engine.spawn("w", worker())
+        engine.run_all()
+        assert order == ["woke", "worked"] or order == ["worked", "woke"]
+
+    def test_never_true_condition_still_stalls(self):
+        clock = VirtualClock()
+        engine = Engine(clock, n_vcpus=1)
+        engine.max_idle_rounds = 50  # keep the test fast
+        engine.spawn("stuck", iter([Block(lambda: False)]))
+        with pytest.raises(EngineStall):
+            engine.run_all()
+
+    def test_idle_rounds_counted_and_reset(self):
+        clock = VirtualClock()
+        engine = Engine(clock, n_vcpus=1)
+        woken = {"n": 0}
+
+        def napper(deadline):
+            def body():
+                yield Block(lambda: clock.now_ns >= deadline)
+                woken["n"] += 1
+            return body()
+        engine.spawn("a", napper(20_000))
+        engine.spawn("b", napper(60_000))
+        engine.run_all()
+        assert woken["n"] == 2
+        assert clock.now_ns >= 60_000

@@ -1,0 +1,48 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_inventory(self, capsys):
+        assert main(["inventory"]) == 0
+        out = capsys.readouterr().out
+        assert "repro.migration" in out
+        assert "§VII-B" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "migrated" in out
+        assert "MRENCLAVE" in out
+
+    def test_attack_consistency(self, capsys):
+        assert main(["attack", "consistency"]) == 0
+        out = capsys.readouterr().out
+        assert "TORN" in out
+        assert "CONSISTENT" in out
+
+    def test_attack_tamper(self, capsys):
+        assert main(["attack", "tamper"]) == 0
+        out = capsys.readouterr().out
+        assert "detected=True" in out
+
+    def test_vm_baseline(self, capsys):
+        assert main(["vm", "--enclaves", "0", "--seed", "cli-test"]) == 0
+        out = capsys.readouterr().out
+        assert "downtime" in out
+
+    def test_vm_with_enclaves(self, capsys):
+        assert main(["vm", "--enclaves", "2", "--seed", "cli-test-2"]) == 0
+        out = capsys.readouterr().out
+        assert "checkpointing" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_attack_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["attack", "voodoo"])

@@ -1,0 +1,72 @@
+"""Exception hierarchy contracts.
+
+Callers catch at documented granularities; these tests freeze the
+hierarchy so a refactor cannot silently break error handling.
+"""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.SgxError,
+            errors.CryptoError,
+            errors.MigrationError,
+            errors.GuestOsError,
+            errors.HypervisorError,
+            errors.AttestationError,
+        ],
+    )
+    def test_all_families_are_repro_errors(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.SgxAccessFault,
+            errors.SgxInstructionFault,
+            errors.SgxMacMismatch,
+            errors.SgxVersionMismatch,
+            errors.SgxEpcExhausted,
+            errors.EnclavePageFault,
+        ],
+    )
+    def test_hardware_faults_are_sgx_errors(self, exc):
+        assert issubclass(exc, errors.SgxError)
+
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.MigrationAborted,
+            errors.ChannelError,
+            errors.SelfDestroyed,
+            errors.ConsistencyViolation,
+            errors.RestoreError,
+            errors.CssaMismatch,
+        ],
+    )
+    def test_protocol_failures_are_migration_errors(self, exc):
+        assert issubclass(exc, errors.MigrationError)
+
+    def test_cssa_mismatch_is_a_restore_error(self):
+        # Step-4 failures are a species of restore failure.
+        assert issubclass(errors.CssaMismatch, errors.RestoreError)
+
+    def test_integrity_and_signature_are_crypto_errors(self):
+        assert issubclass(errors.IntegrityError, errors.CryptoError)
+        assert issubclass(errors.SignatureError, errors.CryptoError)
+
+    def test_page_fault_carries_address(self):
+        fault = errors.EnclavePageFault(0x1234000)
+        assert fault.vaddr == 0x1234000
+        assert "0x1234000" in str(fault)
+
+    def test_sgx_errors_are_not_migration_errors(self):
+        # Distinct families: a hardware fault must never be swallowed by
+        # a protocol-level handler (and vice versa).
+        assert not issubclass(errors.SgxAccessFault, errors.MigrationError)
+        assert not issubclass(errors.ChannelError, errors.SgxError)

@@ -1,0 +1,76 @@
+"""Canonical serialization: the byte format hardware state lives in."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.strategies import recursive
+
+from repro.serde import SerdeError, pack, unpack
+
+
+class TestSerde:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -17,
+            2**80,
+            "text",
+            b"bytes\x00\xff",
+            [1, 2, 3],
+            (4, 5),
+            {"a": 1, "b": [b"x", None]},
+            {"nested": {"deep": {"bytes": b"\x01"}}},
+        ],
+    )
+    def test_roundtrip(self, value):
+        assert unpack(pack(value)) == value
+
+    def test_deterministic_key_order(self):
+        assert pack({"b": 1, "a": 2}) == pack({"a": 2, "b": 1})
+
+    def test_tuple_distinct_from_list(self):
+        assert unpack(pack((1, 2))) == (1, 2)
+        assert unpack(pack([1, 2])) == [1, 2]
+
+    def test_floats_rejected(self):
+        with pytest.raises(SerdeError):
+            pack(1.5)
+
+    def test_non_string_keys_rejected(self):
+        with pytest.raises(SerdeError):
+            pack({1: "a"})
+
+    def test_reserved_keys_rejected(self):
+        with pytest.raises(SerdeError):
+            pack({"__bytes__": "hex"})
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(SerdeError):
+            pack(object())
+
+    def test_malformed_bytes_rejected(self):
+        with pytest.raises(SerdeError):
+            unpack(b"not json at all {{{")
+        with pytest.raises(SerdeError):
+            unpack(b"\xff\xfe")
+
+    canonical = recursive(
+        st.none()
+        | st.booleans()
+        | st.integers()
+        | st.text(max_size=20)
+        | st.binary(max_size=20),
+        lambda children: st.lists(children, max_size=4)
+        | st.dictionaries(
+            st.text(max_size=8).filter(lambda k: not k.startswith("__")), children, max_size=4
+        ),
+        max_leaves=20,
+    )
+
+    @given(canonical)
+    @settings(max_examples=80)
+    def test_roundtrip_property(self, value):
+        assert unpack(pack(value)) == value

@@ -1,0 +1,59 @@
+"""Algorithmic checks for the Figure 9(b) application kernels."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.apps import _DCT_COS, _dct_8x8, lz77_compress, lz77_decompress
+
+
+class TestDct:
+    def test_dc_coefficient_of_flat_block(self):
+        # A constant block concentrates all energy in the DC coefficient.
+        block = [100] * 64
+        coefficients = _dct_8x8(block)
+        assert abs(coefficients[0]) > 0
+        ac_energy = sum(abs(c) for c in coefficients[1:])
+        assert ac_energy < abs(coefficients[0]) * 0.1
+
+    def test_zero_block_is_zero(self):
+        assert _dct_8x8([0] * 64) == [0] * 64
+
+    def test_linearity(self):
+        base = list(range(64))
+        doubled = [2 * x for x in base]
+        a = _dct_8x8(base)
+        b = _dct_8x8(doubled)
+        # Fixed-point rounding allows small deviations from exact 2x.
+        for x, y in zip(a, b):
+            assert abs(y - 2 * x) <= 64
+
+    def test_cos_table_symmetry(self):
+        # Row u=0 of the DCT basis is constant.
+        assert len(set(_DCT_COS[0])) == 1
+
+
+class TestLz77:
+    @given(st.binary(max_size=400))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, data):
+        assert lz77_decompress(lz77_compress(data)) == data
+
+    def test_long_runs_compress_well(self):
+        data = b"A" * 1000
+        compressed = lz77_compress(data)
+        assert len(compressed) < len(data) // 10
+
+    def test_repeated_phrases_found_across_window(self):
+        phrase = b"the enclave migrates "
+        data = phrase * 20
+        compressed = lz77_compress(data)
+        assert len(compressed) < len(data) // 2
+
+    def test_empty_input(self):
+        assert lz77_compress(b"") == b""
+        assert lz77_decompress(b"") == b""
+
+    def test_overlapping_match_semantics(self):
+        # (offset < length) copies must self-reference correctly.
+        data = b"ab" + b"ab" * 40
+        assert lz77_decompress(lz77_compress(data)) == data

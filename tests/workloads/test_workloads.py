@@ -1,0 +1,197 @@
+"""Workload correctness: nbench kernels, apps, servers, memcached."""
+
+import pytest
+
+from repro.migration.testbed import build_testbed
+from repro.sdk.host import HostApplication, WorkerSpec
+from repro.workloads.apps import (
+    APP_NAMES,
+    build_app_image,
+    lz77_compress,
+    lz77_decompress,
+)
+from repro.workloads.authserver import MAX_ATTEMPTS, build_authserver_image
+from repro.workloads.bank import TOTAL, build_bank_image
+from repro.workloads.mailserver import build_mailserver_image
+from repro.workloads.memcached import build_memcached_image
+from repro.workloads.nbench import (
+    NBENCH_KERNELS,
+    build_nbench_image,
+    huffman_core,
+    idea_core,
+    lu_decomposition_core,
+    native_run,
+    numeric_sort_core,
+    string_sort_core,
+)
+
+
+def launch(tb, built, workers=None):
+    tb.owner.register_image(built)
+    return HostApplication(
+        tb.source, tb.source_os, built.image, workers or [], owner=tb.owner
+    ).launch()
+
+
+class TestNbenchCores:
+    def test_deterministic(self):
+        for kernel in NBENCH_KERNELS.values():
+            assert kernel.core(7) == kernel.core(7)
+
+    def test_seed_sensitivity(self):
+        changed = sum(
+            1 for kernel in NBENCH_KERNELS.values() if kernel.core(1) != kernel.core(2)
+        )
+        assert changed >= 7  # nearly all kernels react to their input
+
+    def test_numeric_sort_returns_median(self):
+        assert isinstance(numeric_sort_core(3), int)
+
+    def test_string_sort_stable(self):
+        assert string_sort_core(5) == string_sort_core(5)
+
+    def test_idea_is_a_permutation_style_checksum(self):
+        assert 0 <= idea_core(9) < (1 << 16)
+
+    def test_huffman_roundtrip_asserts_internally(self):
+        huffman_core(11)  # raises if decode(encode(x)) != x
+
+    def test_lu_runs(self):
+        assert isinstance(lu_decomposition_core(13), int)
+
+    def test_all_nine_kernels_present(self):
+        assert len(NBENCH_KERNELS) == 9  # the nine bars of Figure 9(a)
+
+
+class TestNbenchInEnclave:
+    def test_kernel_runs_inside_enclave(self):
+        tb = build_testbed(seed=400)
+        built = build_nbench_image(tb.builder, "numeric_sort")
+        app = launch(tb, built)
+        result = app.ecall_once(0, "run", 7)
+        assert result == numeric_sort_core(7)
+
+    def test_enclave_slower_than_native(self):
+        tb = build_testbed(seed=401, vepc_pages=64)
+        built = build_nbench_image(tb.builder, "numeric_sort", sdk_flavor="slow")
+        app = launch(tb, built)
+        start = tb.clock.now_ns
+        app.ecall_once(0, "run", 7)
+        enclave_ns = tb.clock.now_ns - start
+        start = tb.clock.now_ns
+        native_run("numeric_sort", tb.clock, 7)
+        native_ns = tb.clock.now_ns - start
+        assert enclave_ns > native_ns
+
+    def test_memory_hungry_kernel_pays_paging_cost(self):
+        # Figure 9(a): String Sort's working set exceeds the vEPC and the
+        # slowdown explodes relative to a small-footprint kernel.
+        def slowdown(kernel):
+            tb = build_testbed(seed=402, vepc_pages=72)
+            built = build_nbench_image(tb.builder, kernel, sdk_flavor="paging")
+            app = launch(tb, built)
+            app.ecall_once(0, "run", 1)  # warm
+            start = tb.clock.now_ns
+            app.ecall_once(0, "run", 2)
+            enclave_ns = tb.clock.now_ns - start
+            start = tb.clock.now_ns
+            native_run(kernel, tb.clock, 2)
+            return enclave_ns / (tb.clock.now_ns - start)
+
+        assert slowdown("string_sort") > 2 * slowdown("numeric_sort")
+
+
+class TestApps:
+    @pytest.mark.parametrize("app_name", APP_NAMES)
+    def test_each_app_processes(self, app_name):
+        tb = build_testbed(seed=410)
+        built = build_app_image(tb.builder, app_name, flavor="unit")
+        app = launch(tb, built)
+        assert app.ecall_once(0, "process", 3) > 0
+
+    def test_lz77_roundtrip(self):
+        data = b"abcabcabcabc the same phrase again and again and again" * 4
+        compressed = lz77_compress(data)
+        assert lz77_decompress(compressed) == data
+        assert len(compressed) < len(data)
+
+    def test_lz77_incompressible(self):
+        from repro.sim.rng import DeterministicRng
+
+        data = DeterministicRng(1).bytes(300)
+        assert lz77_decompress(lz77_compress(data)) == data
+
+
+class TestBank:
+    def test_invariant_under_normal_operation(self):
+        tb = build_testbed(seed=420)
+        built = build_bank_image(tb.builder)
+        app = launch(tb, built)
+        app.ecall_once(0, "init")
+        app.ecall_once(0, "transfer", {"rounds": 5, "amount": 10})
+        balances = app.ecall_once(0, "balances")
+        assert balances["a"] + balances["b"] == TOTAL
+        assert balances["b"] == 50
+
+
+class TestMailserver:
+    def test_workflow(self):
+        tb = build_testbed(seed=430)
+        built = build_mailserver_image(tb.builder, flavor="unit")
+        app = launch(tb, built)
+        created = app.ecall_once(0, "create_mail", {"recipients": ["a", "b"], "content": "x"})
+        app.ecall_once(0, "delete_recipient", {"mail_id": created["mail_id"], "recipient": "b"})
+        sent = app.ecall_once(0, "send_mail", {"mail_id": created["mail_id"]})
+        assert sent["delivered_to"] == ["a"]
+        assert len(app.ecall_once(0, "sent_log")) == 1
+
+
+class TestAuthserver:
+    def test_lockout_policy(self):
+        tb = build_testbed(seed=440)
+        built = build_authserver_image(tb.builder)
+        app = launch(tb, built)
+        app.ecall_once(0, "setup", {"password": "secret"})
+        for i in range(MAX_ATTEMPTS):
+            reply = app.ecall_once(0, "try_password", {"password": f"wrong{i}"})
+        assert reply["locked"]
+        blocked = app.ecall_once(0, "try_password", {"password": "secret"})
+        assert blocked.get("alarm")
+
+    def test_correct_password_resets_counter(self):
+        tb = build_testbed(seed=441)
+        built = build_authserver_image(tb.builder)
+        app = launch(tb, built)
+        app.ecall_once(0, "setup", {"password": "secret"})
+        app.ecall_once(0, "try_password", {"password": "wrong"})
+        ok = app.ecall_once(0, "try_password", {"password": "secret"})
+        assert ok["authenticated"]
+        assert app.ecall_once(0, "status")["failed_attempts"] == 0
+
+
+class TestMemcached:
+    def test_set_get(self):
+        tb = build_testbed(seed=450)
+        built = build_memcached_image(tb.builder, state_mb=1)
+        app = launch(tb, built)
+        app.ecall_once(0, "set", {"key": "alpha", "value": "one"})
+        assert app.ecall_once(0, "get", {"key": "alpha"})["value"] == b"one"
+        assert not app.ecall_once(0, "get", {"key": "missing"})["ok"]
+
+    def test_value_size_limit(self):
+        tb = build_testbed(seed=451)
+        built = build_memcached_image(tb.builder, state_mb=1)
+        app = launch(tb, built)
+        reply = app.ecall_once(0, "set", {"key": "big", "value": "v" * 200})
+        assert not reply["ok"]
+
+    def test_state_survives_migration(self):
+        from repro.migration.orchestrator import MigrationOrchestrator
+
+        tb = build_testbed(seed=452)
+        built = build_memcached_image(tb.builder, state_mb=1)
+        app = launch(tb, built)
+        app.ecall_once(0, "set", {"key": "k", "value": "persists"})
+        result = MigrationOrchestrator(tb).migrate_enclave(app)
+        got = result.target_app.ecall_once(0, "get", {"key": "k"})
+        assert got["value"] == b"persists"
