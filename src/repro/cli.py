@@ -7,6 +7,8 @@ Commands:
   rollback / replay / tamper) and print the outcome.
 * ``vm``        — migrate a whole VM (optionally with enclaves / agent)
   and print the Figure-10 quantities.
+* ``faults``    — migrate under an injected fault plan and print whether
+  the protocol completed (after how many retries) or cleanly aborted.
 * ``inventory`` — print the system inventory (modules and their paper
   sections).
 """
@@ -132,6 +134,89 @@ def _cmd_vm(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    from repro import build_testbed
+    from repro.errors import MigrationAborted
+    from repro.faults import FaultInjector, FaultPlan, parse_fault_spec
+    from repro.migration.orchestrator import (
+        FAULT_TOLERANT_RETRY,
+        MigrationOrchestrator,
+        RetryPolicy,
+    )
+    from repro.sdk import AtomicEntry, EnclaveProgram, HostApplication
+
+    try:
+        plan = parse_fault_spec(args.plan) if args.plan else FaultPlan(seed=args.seed)
+    except ValueError as exc:
+        raise SystemExit(f"repro faults: bad --plan: {exc}")
+    plan.seed = args.seed
+    try:
+        retry = RetryPolicy(
+            max_attempts=args.retries,
+            base_backoff_ns=FAULT_TOLERANT_RETRY.base_backoff_ns,
+            chunk_bytes=args.chunk_bytes or None,
+            max_transfer_rounds=FAULT_TOLERANT_RETRY.max_transfer_rounds,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"repro faults: {exc}")
+
+    # Same shape as the demo: a counter enclave with one worker.
+    tb = build_testbed(seed=args.seed)
+    program = EnclaveProgram("cli/faults-v1")
+    program.add_entry(
+        "incr",
+        AtomicEntry(
+            lambda rt, a: (
+                rt.store_global("n", rt.load_global("n") + int(1 if a is None else a))
+                or rt.load_global("n")
+            )
+        ),
+    )
+    built = tb.builder.build("cli-faults", program, n_workers=1, global_names=("n",))
+    tb.owner.register_image(built)
+    app = HostApplication(
+        tb.source, tb.source_os, built.image, [], owner=tb.owner
+    ).launch()
+    app.ecall_once(0, "incr", 7)
+
+    print(f"fault plan: {plan.describe() or '(none)'}")
+    baseline_ms = None
+    if not plan.empty:
+        # Fault-free reference run for the degraded-mode overhead figure.
+        ref_tb = build_testbed(seed=args.seed)
+        ref_built = ref_tb.builder.build(
+            "cli-faults-ref", program, n_workers=1, global_names=("n",)
+        )
+        ref_tb.owner.register_image(ref_built)
+        ref_app = HostApplication(
+            ref_tb.source, ref_tb.source_os, ref_built.image, [], owner=ref_tb.owner
+        ).launch()
+        t0 = ref_tb.clock.now_ms
+        MigrationOrchestrator(ref_tb, retry=retry).migrate_enclave(ref_app)
+        baseline_ms = ref_tb.clock.now_ms - t0
+
+    orch = MigrationOrchestrator(tb, retry=retry, faults=FaultInjector(plan))
+    t0 = tb.clock.now_ms
+    try:
+        result = orch.migrate_enclave(app)
+    except MigrationAborted as exc:
+        print(f"outcome: ABORTED — {exc}")
+        print(f"stats:   {orch.stats.as_dict()}")
+        print(f"faults fired: {dict(tb.trace.tally('fault')) or '(none)'}")
+        return 1
+    elapsed_ms = tb.clock.now_ms - t0
+    counter = result.target_app.ecall_once(0, "incr", 0)
+    print(f"outcome: COMPLETED in {result.attempts} attempt(s) — counter={counter}")
+    print(f"stats:   {result.stats.as_dict()}")
+    print(f"faults fired: {dict(tb.trace.tally('fault')) or '(none)'}")
+    if baseline_ms is not None:
+        print(
+            f"degraded-mode overhead: {elapsed_ms:.2f} ms vs "
+            f"{baseline_ms:.2f} ms fault-free (+{elapsed_ms - baseline_ms:.2f} ms)"
+        )
+    return 0
+
+
 def _cmd_inventory(_args) -> int:
     rows = [
         ("repro.sim", "virtual clock, cost model, VCPU scheduler", "—"),
@@ -170,6 +255,23 @@ def main(argv: list[str] | None = None) -> int:
     vm.add_argument("--agent", action="store_true", help="use the §VI-D agent enclave")
     vm.add_argument("--seed", default="cli")
     vm.set_defaults(fn=_cmd_vm)
+    faults = sub.add_parser("faults", help="migrate under an injected fault plan")
+    faults.add_argument(
+        "--plan",
+        default="",
+        help=(
+            "comma-separated faults, e.g. "
+            "'drop:kmigrate,corrupt:checkpoint-chunk:2,crash:target:restore,"
+            "partition:20'"
+        ),
+    )
+    faults.add_argument("--seed", type=int, default=7, help="fault plan RNG seed")
+    faults.add_argument("--retries", type=int, default=5, help="protocol attempts")
+    faults.add_argument(
+        "--chunk-bytes", type=int, default=16 * 1024,
+        help="checkpoint chunk size (0 = unchunked seed protocol)",
+    )
+    faults.set_defaults(fn=_cmd_faults)
     sub.add_parser("inventory", help="print the system inventory").set_defaults(
         fn=_cmd_inventory
     )

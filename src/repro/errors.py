@@ -84,6 +84,47 @@ class NoSuchEnclave(GuestOsError):
 
 
 # ---------------------------------------------------------------------------
+# Network and injected infrastructure faults
+# ---------------------------------------------------------------------------
+
+class NetworkFault(ReproError):
+    """Base class for transport-level failures on the migration link.
+
+    These model *infrastructure* misbehaviour (lost packets, a severed
+    link), not adversarial tampering: tampering is silent and must be
+    caught cryptographically, while a fault is loud — the sender observes
+    a missing acknowledgement and may retry.
+    """
+
+
+class LinkTimeout(NetworkFault):
+    """A transfer was never acknowledged (dropped message or dead peer)."""
+
+
+class LinkPartitioned(NetworkFault):
+    """The migration link is currently down; transfers cannot start."""
+
+    def __init__(self, message: str, heals_at_ns: int = 0) -> None:
+        super().__init__(message)
+        #: Virtual time at which the partition is scheduled to heal
+        #: (0 when unknown); retry loops use it only for tracing.
+        self.heals_at_ns = heals_at_ns
+
+
+class MachineCrash(ReproError):
+    """An injected endpoint crash: the machine's volatile state is gone.
+
+    Enclave memory never survives a machine crash (EPC keys are per-boot),
+    so a crashed endpoint loses every enclave it hosted.
+    """
+
+    def __init__(self, side: str, step: str) -> None:
+        super().__init__(f"{side} machine crashed at protocol step {step!r}")
+        self.side = side
+        self.step = step
+
+
+# ---------------------------------------------------------------------------
 # Cryptography
 # ---------------------------------------------------------------------------
 
@@ -125,6 +166,24 @@ class MigrationAborted(MigrationError):
 
 class ChannelError(MigrationError):
     """The migration secure channel could not be established or was reused."""
+
+
+class StepTimeout(MigrationError):
+    """A protocol step exceeded its per-step budget (e.g. a wedged
+    control thread that never reaches the quiescent point)."""
+
+    def __init__(self, step: str, detail: str = "") -> None:
+        super().__init__(f"step {step!r} timed out{': ' + detail if detail else ''}")
+        self.step = step
+
+
+class ChunkError(MigrationError):
+    """A checkpoint chunk arrived malformed or failed its frame digest.
+
+    Chunk framing is an untrusted transport detail — a bad chunk is
+    retransmitted, never trusted; end-to-end integrity still rests on the
+    sealed envelope's MAC, which only the enclave verifies.
+    """
 
 
 class SelfDestroyed(MigrationError):

@@ -1,0 +1,48 @@
+"""Deterministic fault injection for the migration protocol.
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`: a seedable, declarative
+  schedule of infrastructure faults (message drop/duplicate/reorder/
+  corrupt/delay, endpoint crashes at protocol steps, link partitions).
+* :mod:`repro.faults.injector` — :class:`FaultInjector`: binds a plan to
+  a testbed's network, clock and orchestrator hooks.
+
+The subsystem answers the question the happy-path tests cannot: when a
+hostile (or merely broken) infrastructure interrupts a migration at an
+arbitrary point, does the protocol still uphold *abort-only* semantics —
+every run ends either completed or cleanly aborted, with exactly one
+live enclave lineage and the self-destroy invariant intact?
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    MESSAGE_FAULT_KINDS,
+    PROTOCOL_STEPS,
+    STEP_BUILD_TARGET,
+    STEP_CHECKPOINT,
+    STEP_ESTABLISH_CHANNEL,
+    STEP_HANDOFF_KEY,
+    STEP_RESTORE,
+    STEP_TRANSFER_CHECKPOINT,
+    CrashFault,
+    FaultPlan,
+    MessageFault,
+    PartitionFault,
+    parse_fault_spec,
+)
+
+__all__ = [
+    "CrashFault",
+    "FaultInjector",
+    "FaultPlan",
+    "MESSAGE_FAULT_KINDS",
+    "MessageFault",
+    "PROTOCOL_STEPS",
+    "PartitionFault",
+    "STEP_BUILD_TARGET",
+    "STEP_CHECKPOINT",
+    "STEP_ESTABLISH_CHANNEL",
+    "STEP_HANDOFF_KEY",
+    "STEP_RESTORE",
+    "STEP_TRANSFER_CHECKPOINT",
+    "parse_fault_spec",
+]

@@ -19,7 +19,8 @@ from repro.crypto.authenc import Envelope, open_envelope, seal_envelope
 from repro.crypto.dh import MODP_2048_G, MODP_2048_P
 from repro.crypto.hashes import sha256
 from repro.crypto.keys import SymmetricKey
-from repro.errors import AttestationError, ChannelError, MigrationError
+from repro.errors import AttestationError, ChannelError, MigrationError, NetworkFault
+from repro.migration.orchestrator import RetryPolicy
 from repro.sdk import control
 from repro.sdk.builder import BuiltImage, SdkBuilder
 from repro.sdk.control import _bind_report_data
@@ -124,9 +125,14 @@ def agent_release_key(
 class AgentService:
     """Host wrapper around one agent enclave on the target machine."""
 
-    def __init__(self, testbed, built_agent: BuiltImage) -> None:
+    def __init__(
+        self, testbed, built_agent: BuiltImage, retry: RetryPolicy | None = None
+    ) -> None:
         self.tb = testbed
         self.built = built_agent
+        #: Same degraded-mode knobs as the orchestrator; the default (one
+        #: attempt) keeps the seed behaviour of surfacing the first fault.
+        self.retry = retry or RetryPolicy()
         self.app = HostApplication(
             testbed.target, testbed.target_os, built_agent.image, workers=[], name="agent"
         )
@@ -136,19 +142,36 @@ class AgentService:
     def mrenclave(self) -> bytes:
         return self.built.image.mrenclave
 
+    def _transfer(self, label: str, payload: bytes, wan: bool = False) -> bytes:
+        """Retry a transfer through transient faults (escrow messages are
+        ciphertext under the exchange's session key: resending is safe)."""
+        backoff = self.retry.base_backoff_ns
+        for round_no in range(self.retry.max_transfer_rounds):
+            try:
+                return self.tb.network.transfer(label, payload, wan=wan)
+            except NetworkFault:
+                if round_no + 1 >= self.retry.max_transfer_rounds or (
+                    self.retry.max_attempts <= 1
+                ):
+                    raise
+                self.tb.trace.emit("migration", "agent_resend", label=label)
+                self.tb.clock.advance(backoff)
+                backoff = self.retry.next_backoff(backoff)
+        raise AssertionError("unreachable")  # pragma: no cover
+
     def escrow_from(self, source_app: HostApplication) -> None:
         """Pre-migration: source attests the agent and escrows K_migrate."""
         tb = self.tb
         quote, agent_pub = self.app.library.control_call(
             agent_escrow_request, tb.target.quoting_enclave
         )
-        tb.network.transfer("agent-escrow-request", pack({"dh": agent_pub}))
-        tb.network.transfer("ias-quote", quote.signed_body(), wan=True)
+        self._transfer("agent-escrow-request", pack({"dh": agent_pub}))
+        self._transfer("ias-quote", quote.signed_body(), wan=True)
         avr = tb.ias.verify_quote(quote)
         source_pub, sealed = source_app.library.control_call(
             control.source_escrow_to_agent, avr, agent_pub
         )
-        delivered = tb.network.transfer("agent-escrow", sealed)
+        delivered = self._transfer("agent-escrow", sealed)
         self.app.library.control_call(agent_store_escrow, source_pub, delivered)
 
     def release_to(self, target_app: HostApplication) -> None:

@@ -16,19 +16,134 @@ The flow implements §III's three operations with §V's defenses:
 4. checkpoint transfer, K_migrate last, source self-destroy;
 5. target restores memory, the library replays CSSA, the control thread
    verifies and goes live.
+
+Degraded-mode operation (the failure-handling layer added around that
+flow) is a retry/abort state machine whose rules keep the paper's
+invariants intact under arbitrary infrastructure faults:
+
+* Any failure *before* ``source_release_key`` is recoverable: the source
+  cancels (wiping K_migrate, resuming its workers), the half-built
+  target is destroyed, and the retry renegotiates everything — new
+  checkpoint, new K_migrate, new attested channel — from scratch.
+* ``source_release_key`` is the point of no return.  The source is
+  SPENT the instant the sealed key leaves the enclave; the orchestrator
+  may retransmit the *same* sealed blob (resending ciphertext is
+  harmless) but can never coax the source back to life.  If the key is
+  lost — a partition outlives the retries, the target crashes after
+  receipt — the migration aborts with *zero* live instances:
+  single-instance beats availability, by design.
+* The checkpoint crosses the wire chunked; lost / corrupted / reordered
+  / duplicated chunks are healed by retransmitting exactly the missing
+  ones (resumable transfer).  Framing is untrusted — end-to-end
+  integrity still rests solely on the envelope MAC checked in-enclave.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from repro.crypto.authenc import Envelope
-from repro.errors import MigrationAborted, MigrationError
+from repro.errors import (
+    ChunkError,
+    CryptoError,
+    IntegrityError,
+    LinkPartitioned,
+    LinkTimeout,
+    MachineCrash,
+    MigrationAborted,
+    MigrationError,
+    NetworkFault,
+    ReproError,
+    SelfDestroyed,
+    StepTimeout,
+)
+from repro.faults.plan import (
+    STEP_BUILD_TARGET,
+    STEP_CHECKPOINT,
+    STEP_ESTABLISH_CHANNEL,
+    STEP_HANDOFF_KEY,
+    STEP_RESTORE,
+    STEP_TRANSFER_CHECKPOINT,
+)
+from repro.migration.checkpoint import DEFAULT_CHUNK_BYTES, ChunkReassembler, chunk_blob
+from repro.sim.engine import EngineStall
 from repro.migration.testbed import Testbed
 from repro.sdk import control
 from repro.sdk.host import HostApplication, WorkerSpec
-from repro.serde import pack, unpack
+from repro.serde import SerdeError, pack, unpack
 from repro.sgx.structures import Quote
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Degraded-mode knobs for one migration.
+
+    The default policy reproduces the seed behaviour exactly: one
+    attempt, no chunking, no backoff — a fault surfaces as the original
+    exception.  :data:`FAULT_TOLERANT_RETRY` is the production-shaped
+    preset the adversarial matrix runs under.
+    """
+
+    #: Whole-protocol attempts (1 = fail on first fault, seed behaviour).
+    max_attempts: int = 1
+    #: First retry backoff on the virtual clock; doubles per retry.
+    base_backoff_ns: int = 8_000_000
+    backoff_multiplier: int = 2
+    #: Engine-round budget for any single engine-driven step (the fix
+    #: for the previously unbounded ``checkpoint_enclave`` wait).
+    max_step_rounds: int = 2_000_000
+    #: Chunk size for the resumable checkpoint transfer; ``None`` ships
+    #: the envelope in one message exactly like the seed protocol.
+    chunk_bytes: int | None = None
+    #: Retransmission passes for the chunk stream / the sealed key.
+    max_transfer_rounds: int = 5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.max_transfer_rounds < 1:
+            raise ValueError("max_transfer_rounds must be at least 1")
+        if self.chunk_bytes is not None and self.chunk_bytes < 1:
+            raise ValueError("chunk_bytes must be positive (or None)")
+
+    def next_backoff(self, backoff_ns: int) -> int:
+        return backoff_ns * self.backoff_multiplier
+
+
+#: The preset used by the fault matrix and the CLI's degraded-mode demo.
+FAULT_TOLERANT_RETRY = RetryPolicy(
+    max_attempts=5,
+    base_backoff_ns=8_000_000,
+    backoff_multiplier=2,
+    max_step_rounds=2_000_000,
+    chunk_bytes=DEFAULT_CHUNK_BYTES,
+    max_transfer_rounds=5,
+)
+
+
+@dataclass
+class MigrationStats:
+    """Degraded-mode counters, surfaced in the CLI and benchmarks."""
+
+    attempts: int = 0
+    retries: int = 0
+    aborts: int = 0
+    chunk_retransmits: int = 0
+    key_retransmits: int = 0
+    step_timeouts: int = 0
+    crashes_seen: int = 0
+    duplicate_chunks_ignored: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "aborts": self.aborts,
+            "chunk_retransmits": self.chunk_retransmits,
+            "key_retransmits": self.key_retransmits,
+            "step_timeouts": self.step_timeouts,
+            "crashes_seen": self.crashes_seen,
+            "duplicate_chunks_ignored": self.duplicate_chunks_ignored,
+        }
 
 
 @dataclass
@@ -39,20 +154,63 @@ class EnclaveMigrationResult:
     replay_plan: dict[int, int]
     checkpoint_bytes: int
     transferred_bytes: int
+    attempts: int = 1
+    stats: MigrationStats = field(default_factory=MigrationStats)
 
 
 class MigrationOrchestrator:
-    """Drives enclave migrations across a :class:`Testbed`."""
+    """Drives enclave migrations across a :class:`Testbed`.
 
-    def __init__(self, testbed: Testbed) -> None:
+    ``retry`` selects the failure-handling behaviour; ``faults`` attaches
+    a :class:`~repro.faults.injector.FaultInjector` whose crash points
+    fire at step boundaries (its message faults act through the network).
+    """
+
+    def __init__(
+        self,
+        testbed: Testbed,
+        retry: RetryPolicy | None = None,
+        faults=None,
+    ) -> None:
         self.tb = testbed
+        self.retry = retry or RetryPolicy()
+        self.faults = faults
+        self.stats = MigrationStats()
+        if faults is not None:
+            faults.attach(testbed)
+        # Point-of-no-return bookkeeping for the current migration.
+        self._key_released = False
+        self._key_delivered = False
+        self._source_crashed = False
 
     # ------------------------------------------------------------- pieces
     def checkpoint_enclave(self, app: HostApplication) -> None:
-        """Run the source control thread to completion (steps ③-⑤)."""
+        """Run the source control thread to completion (steps ③-⑤).
+
+        The wait is bounded by ``retry.max_step_rounds``: a wedged
+        control thread (a worker that never reaches the quiescent point)
+        surfaces as :class:`StepTimeout` instead of hanging the testbed.
+        """
         app.library.last_checkpoint = None
         app.library.on_migration_signal()
-        self.tb.source_os.run_until(lambda: app.library.last_checkpoint is not None)
+        self._bounded_wait(
+            lambda: app.library.last_checkpoint is not None, STEP_CHECKPOINT
+        )
+
+    def _bounded_wait(self, predicate, step: str) -> None:
+        try:
+            self.tb.source_os.run_until(
+                predicate, max_rounds=self.retry.max_step_rounds
+            )
+        except ReproError as exc:
+            # Only scheduling failures become timeouts: round exhaustion
+            # (bare ReproError) and engine stalls.  Anything more specific
+            # is enclave code failing and must keep its own type.
+            if type(exc) is not ReproError and not isinstance(exc, EngineStall):
+                raise
+            self.stats.step_timeouts += 1
+            self.tb.trace.emit("migration", "step_timeout", step=step)
+            raise StepTimeout(step, str(exc)) from exc
 
     def build_virgin_target(self, app: HostApplication) -> HostApplication:
         """Step-1: same image, fresh enclave, on the target machine."""
@@ -95,15 +253,98 @@ class MigrationOrchestrator:
         )
 
     def transfer_checkpoint(self, app: HostApplication) -> bytes:
-        """Ship the sealed checkpoint (the adversary sees ciphertext)."""
-        envelope = app.library.last_checkpoint.envelope
-        return self.tb.network.transfer("checkpoint", envelope.to_bytes())
+        """Ship the sealed checkpoint (the adversary sees ciphertext).
+
+        With ``retry.chunk_bytes`` unset this is the seed protocol: one
+        message under the ``"checkpoint"`` label.  Otherwise the envelope
+        crosses as a resumable chunk stream (``"checkpoint-chunk"``):
+        lost or corrupted chunks are retransmitted individually, and a
+        partition pauses the stream — surviving chunks are never resent.
+        """
+        blob = app.library.last_checkpoint.envelope.to_bytes()
+        if self.retry.chunk_bytes is None:
+            return self.tb.network.transfer("checkpoint", blob)
+        return self._transfer_chunked(blob)
+
+    def _transfer_chunked(self, blob: bytes) -> bytes:
+        net = self.tb.network
+        frames = chunk_blob(blob, self.retry.chunk_bytes)
+        reassembler = ChunkReassembler()
+        if self.faults is not None:
+            order = self.faults.chunk_send_order("checkpoint-chunk", len(frames))
+        else:
+            order = list(range(len(frames)))
+        pending = order
+        backoff = self.retry.base_backoff_ns
+        for round_no in range(self.retry.max_transfer_rounds):
+            failed: list[int] = []
+            for seq in pending:
+                try:
+                    delivered = net.transfer("checkpoint-chunk", frames[seq])
+                except LinkTimeout:
+                    failed.append(seq)
+                    continue
+                except LinkPartitioned:
+                    # The link is down: everything not yet delivered waits
+                    # for the healing backoff below.
+                    failed.extend(s for s in pending if s not in failed and s != seq)
+                    failed.append(seq)
+                    break
+                try:
+                    reassembler.accept(delivered)
+                except ChunkError:
+                    failed.append(seq)
+            self.stats.duplicate_chunks_ignored = reassembler.duplicates_seen
+            if reassembler.complete:
+                return reassembler.assemble()
+            # Resume: only what is still missing goes out again.
+            pending = [s for s in failed if s in set(reassembler.missing())] or (
+                reassembler.missing()
+            )
+            if round_no + 1 < self.retry.max_transfer_rounds:
+                self.stats.chunk_retransmits += len(pending)
+                self.tb.trace.emit(
+                    "migration", "chunk_resend", n=len(pending), round=round_no + 1
+                )
+                self.tb.clock.advance(backoff)
+                backoff = self.retry.next_backoff(backoff)
+        raise LinkTimeout(
+            f"checkpoint transfer incomplete after "
+            f"{self.retry.max_transfer_rounds} rounds: missing {reassembler.missing()}"
+        )
 
     def handoff_key(self, app: HostApplication, target_app: HostApplication) -> None:
-        """K_migrate moves last; the source self-destroys (§V-B)."""
+        """K_migrate moves last; the source self-destroys (§V-B).
+
+        ``source_release_key`` fires exactly once per migration — the
+        point of no return.  Delivery of the resulting sealed blob is
+        retried (same ciphertext; a replayed copy is useless to anyone
+        without the session key) so a dropped or corrupted kmigrate
+        message does not strand an otherwise complete migration.
+        """
         sealed = app.library.control_call(control.source_release_key)
-        delivered = self.tb.network.transfer("kmigrate", sealed)
-        target_app.library.control_call(control.target_receive_key, delivered)
+        self._key_released = True
+        backoff = self.retry.base_backoff_ns
+        last_exc: Exception | None = None
+        for round_no in range(self.retry.max_transfer_rounds):
+            if round_no:
+                self.stats.key_retransmits += 1
+                self.tb.trace.emit("migration", "key_resend", round=round_no)
+                self.tb.clock.advance(backoff)
+                backoff = self.retry.next_backoff(backoff)
+            try:
+                delivered = self.tb.network.transfer("kmigrate", sealed)
+                target_app.library.control_call(control.target_receive_key, delivered)
+                self._key_delivered = True
+                return
+            except (NetworkFault, IntegrityError, CryptoError, SerdeError) as exc:
+                last_exc = exc
+                if self.retry.max_attempts <= 1:
+                    raise  # seed behaviour: no degraded-mode retries
+        raise MigrationAborted(
+            "K_migrate was released but could not be delivered; the source "
+            "has self-destroyed and no live instance holds the key"
+        ) from last_exc
 
     def restore(self, target_app: HostApplication, checkpoint_bytes: bytes) -> dict[int, int]:
         """Steps 3-4 on the target: restore, replay, verify, go live."""
@@ -120,32 +361,166 @@ class MigrationOrchestrator:
 
     # ------------------------------------------------------------- full flow
     def migrate_enclave(self, app: HostApplication) -> EnclaveMigrationResult:
-        """Migrate one enclave application source → target, end to end."""
-        if app.library.last_checkpoint is None:
-            self.checkpoint_enclave(app)
-        checkpoint = app.library.last_checkpoint
-        if checkpoint is None:  # pragma: no cover - guard
-            raise MigrationError("checkpoint generation failed")
+        """Migrate one enclave application source → target, end to end.
+
+        With the default policy this is the seed's single-shot protocol.
+        With retries enabled, transient faults are healed in place (see
+        the step helpers) or by cancelling and renegotiating from
+        scratch; exhausting every recovery raises
+        :class:`MigrationAborted` with the invariants intact.
+        """
+        self._key_released = False
+        self._key_delivered = False
+        self._source_crashed = False
+        if self.retry.max_attempts <= 1 and self.faults is None:
+            return self._attempt_migration(app)
 
         bytes_before = self.tb.network.bytes_transferred
-        target_app = self.build_virgin_target(app)
-        self.establish_channel(app, target_app)
-        delivered_checkpoint = self.transfer_checkpoint(app)
-        self.handoff_key(app, target_app)
-        try:
-            plan = self.restore(target_app, delivered_checkpoint)
-        except MigrationError:
-            # The target refused the state; with the source destroyed and
-            # K_migrate spent, this migration is dead — surface it.
-            raise
-        target_app.respawn_after_restore(plan)
-        self.tb.target_os.end_migration()
-        return EnclaveMigrationResult(
-            target_app=target_app,
-            replay_plan=plan,
-            checkpoint_bytes=checkpoint.envelope.size,
-            transferred_bytes=self.tb.network.bytes_transferred - bytes_before,
+        backoff = self.retry.base_backoff_ns
+        last_exc: Exception | None = None
+        for attempt in range(1, self.retry.max_attempts + 1):
+            self.stats.attempts = attempt
+            if attempt > 1:
+                self.stats.retries += 1
+                self.tb.trace.emit("migration", "retry", attempt=attempt)
+                self.tb.clock.advance(backoff)
+                backoff = self.retry.next_backoff(backoff)
+            try:
+                return self._attempt_migration(app, bytes_baseline=bytes_before)
+            except MigrationAborted:
+                self._record_abort("aborted")
+                raise
+            except MachineCrash as exc:
+                last_exc = exc
+                self.stats.crashes_seen += 1
+                if exc.side == "source":
+                    self._abort(
+                        app,
+                        f"source machine crashed at step {exc.step!r}; its "
+                        "enclave cannot be rebuilt from volatile state",
+                        cause=exc,
+                    )
+                if self._past_point_of_no_return():
+                    self._abort(
+                        app,
+                        "target crashed after K_migrate was released; the key "
+                        "is lost and the source has self-destroyed",
+                        cause=exc,
+                    )
+                # Target crashed pre-release: renegotiate with a new target.
+            except (SelfDestroyed, MigrationError, NetworkFault, ReproError) as exc:
+                last_exc = exc
+                if self._past_point_of_no_return() or isinstance(exc, SelfDestroyed):
+                    self._abort(
+                        app,
+                        "migration failed after the point of no return "
+                        f"({type(exc).__name__}: {exc})",
+                        cause=exc,
+                    )
+        self._abort(
+            app,
+            f"gave up after {self.retry.max_attempts} attempts "
+            f"({type(last_exc).__name__ if last_exc else 'unknown'}: {last_exc})",
+            cause=last_exc,
         )
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # ------------------------------------------------------------- attempt
+    def _attempt_migration(
+        self, app: HostApplication, bytes_baseline: int | None = None
+    ) -> EnclaveMigrationResult:
+        """One full pass of the protocol; cleans up its target on failure."""
+        bytes_before = (
+            self.tb.network.bytes_transferred if bytes_baseline is None else bytes_baseline
+        )
+        target_app: HostApplication | None = None
+        try:
+            self._begin_step(app, STEP_CHECKPOINT)
+            if app.library.last_checkpoint is None:
+                self.checkpoint_enclave(app)
+            checkpoint = app.library.last_checkpoint
+            if checkpoint is None:  # pragma: no cover - guard
+                raise MigrationError("checkpoint generation failed")
+
+            self._begin_step(app, STEP_BUILD_TARGET)
+            target_app = self.build_virgin_target(app)
+            self._begin_step(app, STEP_ESTABLISH_CHANNEL)
+            self.establish_channel(app, target_app)
+            self._begin_step(app, STEP_TRANSFER_CHECKPOINT)
+            delivered_checkpoint = self.transfer_checkpoint(app)
+            self._begin_step(app, STEP_HANDOFF_KEY)
+            self.handoff_key(app, target_app)
+            self._begin_step(app, STEP_RESTORE)
+            plan = self.restore(target_app, delivered_checkpoint)
+            target_app.respawn_after_restore(plan)
+            self.tb.target_os.end_migration()
+            return EnclaveMigrationResult(
+                target_app=target_app,
+                replay_plan=plan,
+                checkpoint_bytes=checkpoint.envelope.size,
+                transferred_bytes=self.tb.network.bytes_transferred - bytes_before,
+                attempts=max(self.stats.attempts, 1),
+                stats=self.stats,
+            )
+        except BaseException:
+            if target_app is not None:
+                self._destroy_target(target_app)
+            self._recover_source(app)
+            raise
+
+    def _begin_step(self, app: HostApplication, step: str) -> None:
+        if self.faults is None:
+            return
+        try:
+            self.faults.step_started(step)
+        except MachineCrash as exc:
+            if exc.side == "source" and self._key_delivered:
+                # The key and checkpoint already live on the target; the
+                # source is no longer needed.  Its machine dying now costs
+                # nothing but the (already spent) source instance.
+                self.stats.crashes_seen += 1
+                self._crash_source(app)
+                return
+            if exc.side == "source":
+                self._crash_source(app)
+            raise
+
+    # ------------------------------------------------------------- recovery
+    def _past_point_of_no_return(self) -> bool:
+        """Key released but not safely installed in a live target."""
+        return self._key_released
+
+    def _source_alive(self, app: HostApplication) -> bool:
+        return app.library.enclave_id is not None and not self._source_crashed
+
+    def _crash_source(self, app: HostApplication) -> None:
+        self._source_crashed = True
+        if app.library.enclave_id is not None:
+            app.library.destroy()
+
+    def _destroy_target(self, target_app: HostApplication) -> None:
+        try:
+            target_app.destroy()
+        except ReproError:  # pragma: no cover - teardown is best-effort
+            pass
+
+    def _recover_source(self, app: HostApplication) -> None:
+        """Return the source to service if (and only if) that is safe."""
+        if not self._source_alive(app) or self._key_released:
+            return
+        try:
+            self.cancel(app)
+        except ReproError:  # pragma: no cover - cancel is best-effort
+            pass
+
+    def _record_abort(self, reason: str) -> None:
+        self.stats.aborts += 1
+        self.tb.trace.emit("migration", "abort", reason=reason)
+
+    def _abort(self, app: HostApplication, reason: str, cause: Exception | None) -> None:
+        """Give up cleanly: no half-built target, no resurrectable source."""
+        self._record_abort(reason)
+        raise MigrationAborted(reason) from cause
 
 
 def _quote_to_dict(quote: Quote) -> dict:

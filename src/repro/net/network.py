@@ -10,11 +10,14 @@ this way — the protocol must survive an attacker who owns the wire.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.sim.clock import VirtualClock
 from repro.sim.costs import CostModel
 from repro.sim.trace import EventTrace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injector import FaultInjector
 
 #: A tap receives (label, payload) and returns the payload to deliver
 #: (possibly modified) — or None to deliver the original unchanged.
@@ -38,6 +41,11 @@ class Network:
         self._taps: list[NetworkTap] = []
         self.log: list[TransferRecord] = []
         self.bytes_transferred = 0
+        #: Optional fault injector (see :mod:`repro.faults`): unlike taps,
+        #: it can refuse delivery (drop/partition), duplicate wire records
+        #: and charge extra virtual time — infrastructure misbehaviour
+        #: rather than silent adversarial rewriting.
+        self.injector: "FaultInjector | None" = None
 
     def add_tap(self, tap: NetworkTap) -> None:
         """Install an adversary/observer hook on every transfer."""
@@ -51,7 +59,15 @@ class Network:
 
         ``wan=True`` models the wide-area paths (owner, IAS); otherwise
         the machine-to-machine migration link.
+
+        With a fault injector installed the call may instead raise
+        :class:`~repro.errors.LinkPartitioned` (link is down; nothing
+        entered the wire) or :class:`~repro.errors.LinkTimeout` (the
+        message entered the wire and was lost; the sender waited out the
+        acknowledgement window on the virtual clock).
         """
+        if self.injector is not None:
+            self.injector.link_check(label)
         n = len(payload)
         if wan:
             self.clock.advance(self.costs.wan_round_trip_ns() // 2 + self.costs.net_transfer_ns(n))
@@ -65,7 +81,17 @@ class Network:
             replacement = tap(label, delivered)
             if replacement is not None:
                 delivered = replacement
+        if self.injector is not None:
+            delivered = self.injector.deliver(label, delivered, self)
         return delivered
+
+    def record_duplicate(self, label: str, payload: bytes) -> None:
+        """Account a duplicated delivery: the wire carried it twice."""
+        n = len(payload)
+        self.clock.advance(self.costs.net_transfer_ns(n))
+        self.bytes_transferred += n
+        self.log.append(TransferRecord(label, n, payload))
+        self.trace.emit("net", "transfer", label=label, bytes=n, duplicate=True)
 
     def captured(self, label: str) -> list[bytes]:
         """All payloads ever sent under ``label`` (the adversary's log)."""

@@ -75,6 +75,11 @@ class EventTrace:
     def count_of(self, category: str | None = None, name: str | None = None) -> int:
         return sum(1 for _ in self.select(category, name))
 
+    def tally(self, category: str) -> Counter[str]:
+        """Event-name histogram for one category (e.g. every ``"fault"``
+        the injector fired, or every degraded-mode ``"migration"`` event)."""
+        return Counter(event.name for event in self.select(category))
+
     def clear(self) -> None:
         self._events.clear()
         self._counters.clear()

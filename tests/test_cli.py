@@ -39,6 +39,32 @@ class TestCli:
         out = capsys.readouterr().out
         assert "checkpointing" in out
 
+    def test_faults_no_plan(self, capsys):
+        assert main(["faults"]) == 0
+        out = capsys.readouterr().out
+        assert "COMPLETED" in out
+        assert "(none)" in out  # no faults fired
+
+    def test_faults_survivable_plan(self, capsys):
+        assert main(["faults", "--plan", "drop:kmigrate,corrupt:checkpoint-chunk:2"]) == 0
+        out = capsys.readouterr().out
+        assert "COMPLETED" in out
+        assert "drop" in out and "corrupt" in out
+
+    def test_faults_fatal_plan_exits_nonzero(self, capsys):
+        assert main(["faults", "--plan", "crash:target:restore"]) == 1
+        out = capsys.readouterr().out
+        assert "ABORTED" in out
+        assert "'aborts': 1" in out
+
+    def test_faults_unchunked(self, capsys):
+        assert main(["faults", "--chunk-bytes", "0"]) == 0
+        assert "COMPLETED" in capsys.readouterr().out
+
+    def test_faults_bad_plan_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["faults", "--plan", "explode:everything"])
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
