@@ -8,7 +8,11 @@ Commands:
 * ``vm``        — migrate a whole VM (optionally with enclaves / agent)
   and print the Figure-10 quantities.
 * ``faults``    — migrate under an injected fault plan and print whether
-  the protocol completed (after how many retries) or cleanly aborted.
+  the protocol completed (after how many retries) or cleanly aborted;
+  exits non-zero on abort or on divergence from a fault-free reference.
+* ``recover``   — crash one party at a journal-record boundary, rebuild
+  the migration from the write-ahead journals, and print the invariant
+  verdict.
 * ``inventory`` — print the system inventory (modules and their paper
   sections).
 """
@@ -181,8 +185,10 @@ def _cmd_faults(args) -> int:
 
     print(f"fault plan: {plan.describe() or '(none)'}")
     baseline_ms = None
+    reference_counter = None
     if not plan.empty:
-        # Fault-free reference run for the degraded-mode overhead figure.
+        # Fault-free reference run: the degraded-mode overhead figure and
+        # the divergence oracle (same program, same inputs, no faults).
         ref_tb = build_testbed(seed=args.seed)
         ref_built = ref_tb.builder.build(
             "cli-faults-ref", program, n_workers=1, global_names=("n",)
@@ -191,9 +197,11 @@ def _cmd_faults(args) -> int:
         ref_app = HostApplication(
             ref_tb.source, ref_tb.source_os, ref_built.image, [], owner=ref_tb.owner
         ).launch()
+        ref_app.ecall_once(0, "incr", 7)
         t0 = ref_tb.clock.now_ms
-        MigrationOrchestrator(ref_tb, retry=retry).migrate_enclave(ref_app)
+        ref_result = MigrationOrchestrator(ref_tb, retry=retry).migrate_enclave(ref_app)
         baseline_ms = ref_tb.clock.now_ms - t0
+        reference_counter = ref_result.target_app.ecall_once(0, "incr", 0)
 
     orch = MigrationOrchestrator(tb, retry=retry, faults=FaultInjector(plan))
     t0 = tb.clock.now_ms
@@ -214,6 +222,82 @@ def _cmd_faults(args) -> int:
             f"degraded-mode overhead: {elapsed_ms:.2f} ms vs "
             f"{baseline_ms:.2f} ms fault-free (+{elapsed_ms - baseline_ms:.2f} ms)"
         )
+    if reference_counter is not None and counter != reference_counter:
+        print(
+            f"outcome: DIVERGED — counter {counter} under faults vs "
+            f"{reference_counter} in the fault-free reference"
+        )
+        return 2
+    return 0
+
+
+def _cmd_recover(args) -> int:
+    from repro import build_testbed
+    from repro.durability.recovery import MigrationRecovery
+    from repro.durability.sweep import COUNTER_START, build_sweep_app
+    from repro.errors import DurabilityError, MigrationAborted, PartyCrash
+    from repro.faults import FaultInjector, parse_fault_spec
+    from repro.migration.orchestrator import FAULT_TOLERANT_RETRY, MigrationOrchestrator
+
+    try:
+        plan = parse_fault_spec(args.plan)
+    except ValueError as exc:
+        raise SystemExit(f"repro recover: bad --plan: {exc}")
+    if not plan.record_crash_faults:
+        raise SystemExit(
+            "repro recover: the plan needs a crash-record:PARTY:N fault to recover from"
+        )
+    plan.seed = args.seed
+    tb = build_testbed(seed=args.seed)
+    app = build_sweep_app(tb)
+    orch = MigrationOrchestrator(
+        tb, retry=FAULT_TOLERANT_RETRY, faults=FaultInjector(plan)
+    )
+    print(f"fault plan: {plan.describe()}")
+    try:
+        orch.migrate_enclave(app)
+        print("outcome: COMPLETED (the crash point was never reached)")
+        return 0
+    except MigrationAborted as exc:
+        print(f"outcome: ABORTED before the crash point — {exc}")
+        return 1
+    except PartyCrash as exc:
+        print(f"crash:   {exc}")
+
+    try:
+        report = MigrationRecovery(tb, app, orchestrator=orch).recover()
+    except DurabilityError as exc:
+        print(f"recovery REFUSED: {type(exc).__name__}: {exc}")
+        return 3
+    print(f"recovery: {report.outcome} — {report.detail}")
+    for name, kinds in sorted(report.journal_kinds.items()):
+        print(f"  journal {name}: {' -> '.join(kinds) if kinds else '(empty)'}")
+    survivor = report.target_app
+    if survivor is None and report.live_instances:
+        survivor = app
+    counter = survivor.ecall_once(0, "read") if survivor is not None else None
+    print(
+        f"live instances: {report.live_instances}"
+        + (f" (counter={counter})" if counter is not None else "")
+    )
+
+    from repro.errors import InvariantViolation
+
+    try:
+        tb.monitor.check_now()
+    except InvariantViolation:
+        pass
+    violations = list(tb.monitor.violations)
+    if violations:
+        for violation in violations:
+            print(f"invariant VIOLATED: {violation}")
+        return 2
+    if report.live_instances not in (0, 1) or (
+        counter is not None and counter != COUNTER_START
+    ):
+        print("invariant VIOLATED: recovered state diverged")
+        return 2
+    print("invariants: CLEAN (at most one live instance, state intact)")
     return 0
 
 
@@ -272,6 +356,19 @@ def main(argv: list[str] | None = None) -> int:
         help="checkpoint chunk size (0 = unchunked seed protocol)",
     )
     faults.set_defaults(fn=_cmd_faults)
+    recover = sub.add_parser(
+        "recover", help="crash a migration party mid-protocol and recover it"
+    )
+    recover.add_argument(
+        "--plan",
+        default="crash-record:orchestrator:5",
+        help=(
+            "fault spec with at least one crash-record:PARTY:N entry "
+            "(PARTY in source/target/orchestrator/agent)"
+        ),
+    )
+    recover.add_argument("--seed", type=int, default=7, help="testbed / plan seed")
+    recover.set_defaults(fn=_cmd_recover)
     sub.add_parser("inventory", help="print the system inventory").set_defaults(
         fn=_cmd_inventory
     )

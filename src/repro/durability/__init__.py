@@ -1,0 +1,19 @@
+"""Crash-consistent migration: write-ahead journals and recovery.
+
+Submodules:
+
+* :mod:`repro.durability.store` — stable storage (byte logs + hardware
+  monotonic counters);
+* :mod:`repro.durability.journal` — the CRC-framed, counter-stamped
+  append-only journal each party writes;
+* :mod:`repro.durability.wal` — naming and record-kind conventions;
+* :mod:`repro.durability.recovery` — rebuilds a crashed migration from
+  the journals and converges to at most one live instance;
+* :mod:`repro.durability.sweep` — the crash-point sweep and chaos-soak
+  harnesses that exercise all of the above.
+"""
+
+from repro.durability.journal import Journal, JournalRecord
+from repro.durability.store import DurableStore
+
+__all__ = ["DurableStore", "Journal", "JournalRecord"]

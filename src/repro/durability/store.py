@@ -1,0 +1,59 @@
+"""Stable storage: the one thing a machine crash does not erase.
+
+A :class:`DurableStore` models the testbed's persistent media — each
+party's journal file plus a bank of hardware monotonic counters.  The
+split matters for the threat model:
+
+* the **byte logs** are ordinary untrusted disk: a crash can tear the
+  tail of an append, and an adversary (or a lazy operator restoring an
+  old backup) can truncate or substitute an earlier copy;
+* the **monotonic counters** model tamper-resistant hardware counters
+  (TPM / CSME, the primitive Alder et al. build their rollback defense
+  on): they only ever move forward and survive everything.
+
+:class:`repro.durability.journal.Journal` commits a record by appending
+the frame bytes *then* bumping the counter; replay cross-checks the two,
+which is what turns "the journal looks shorter than it should be" into a
+typed, refusable :class:`~repro.errors.JournalRolledBack`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injector import FaultInjector
+
+
+class DurableStore:
+    """Per-testbed persistent storage: named byte logs + counters."""
+
+    def __init__(self) -> None:
+        self._logs: dict[str, bytearray] = {}
+        self._counters: dict[str, int] = {}
+        #: Optional fault injector; journal commits report record
+        #: boundaries to it so crash plans can fire at record
+        #: granularity (see :meth:`FaultInjector.record_appended`).
+        self.injector: "FaultInjector | None" = None
+
+    # ------------------------------------------------------------- byte logs
+    def log(self, name: str) -> bytearray:
+        """The (mutable) byte log under ``name``, created on first use."""
+        return self._logs.setdefault(name, bytearray())
+
+    def has_log(self, name: str) -> bool:
+        return name in self._logs
+
+    def names(self) -> list[str]:
+        return sorted(self._logs)
+
+    # ------------------------------------------------------------- counters
+    def counter(self, name: str) -> int:
+        """Current value of the hardware monotonic counter for ``name``."""
+        return self._counters.get(name, 0)
+
+    def counter_bump(self, name: str) -> int:
+        """Advance the monotonic counter; returns the new value."""
+        value = self._counters.get(name, 0) + 1
+        self._counters[name] = value
+        return value

@@ -1,0 +1,64 @@
+"""Write-ahead-log conventions shared by every migration party.
+
+Journals are named by *role*, not by object identity, so a party that
+crashes and is rebuilt finds its own log again:
+
+* ``orchestrator/<image>`` — the untrusted migration driver;
+* ``enclave/source/<image>`` / ``enclave/target/<image>`` — the two
+  enclave instances (records are appended from *inside* the enclave;
+  secret payloads are sealed under the enclave's EGETKEY sealing key
+  before they touch the log);
+* ``enclave/target/agent`` — the §VI-D agent enclave's escrow log.
+
+Record kinds are listed here so the recovery logic and the tests agree
+on the vocabulary.  The orchestrator journals the protocol's *artifacts*
+(sealed checkpoint envelope, sealed K_migrate blob — both ciphertext an
+adversary already sees on the wire); the enclaves journal their *state
+transitions* (checkpointed, channel open, key released, key installed,
+live), which is what makes "a SPENT source recovers as SPENT" decidable
+after every volatile bit is gone.
+"""
+
+from __future__ import annotations
+
+# Party names (addressable by record-granularity crash faults).
+PARTY_SOURCE = "source"
+PARTY_TARGET = "target"
+PARTY_ORCHESTRATOR = "orchestrator"
+PARTY_AGENT = "agent"
+
+MIGRATION_PARTIES = (PARTY_SOURCE, PARTY_TARGET, PARTY_ORCHESTRATOR, PARTY_AGENT)
+
+# Orchestrator record kinds, in protocol order.
+WAL_BEGIN = "begin"
+WAL_CHECKPOINT = "checkpoint"        # payload: sealed envelope bytes + sequence
+WAL_TARGET_BUILT = "target-built"
+WAL_CHANNEL = "channel"
+WAL_TRANSFERRED = "transferred"      # payload: the delivered envelope bytes
+WAL_RELEASE = "release"              # payload: the sealed K_migrate blob
+WAL_DELIVERED = "delivered"
+WAL_RESTORED = "restored"            # payload: the CSSA replay plan
+WAL_DONE = "done"
+WAL_ABORT = "abort"
+WAL_CANCEL = "cancel"
+
+# Enclave-side record kinds (appended from in-enclave control code).
+REC_CHECKPOINT = "checkpoint"        # sealed: K_migrate; clear: envelope + sequence
+REC_CHANNEL_OPEN = "channel-open"
+REC_CHANNEL = "channel"
+REC_RELEASED = "released"            # the instant the instance is SPENT
+REC_CANCELLED = "cancelled"
+REC_KEY_INSTALLED = "key-installed"  # sealed: the received K_migrate
+REC_LIVE = "live"
+REC_ESCROW = "escrow"                # agent: sealed escrow-table entry
+REC_ESCROW_RELEASE = "escrow-release"
+
+AGENT_JOURNAL = "enclave/target/agent"
+
+
+def orchestrator_journal_name(image_name: str) -> str:
+    return f"orchestrator/{image_name}"
+
+
+def enclave_journal_name(machine_name: str, image_name: str) -> str:
+    return f"enclave/{machine_name}/{image_name}"

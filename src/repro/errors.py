@@ -124,6 +124,59 @@ class MachineCrash(ReproError):
         self.step = step
 
 
+class PartyCrash(ReproError):
+    """A migration party crashed at a journal-record boundary.
+
+    Unlike :class:`MachineCrash` (which the orchestrator's retry loop
+    heals in place), a party crash terminates the whole protocol driver:
+    the run stops where it stands and only
+    :class:`repro.durability.recovery.MigrationRecovery` — reading the
+    write-ahead journals — may continue or finalize the migration.
+    """
+
+    def __init__(self, party: str, record: int, journal: str = "") -> None:
+        super().__init__(
+            f"party {party!r} crashed after committing journal record #{record}"
+            + (f" of {journal!r}" if journal else "")
+        )
+        self.party = party
+        self.record = record
+        self.journal = journal
+
+
+# ---------------------------------------------------------------------------
+# Durability (write-ahead journal) and runtime invariants
+# ---------------------------------------------------------------------------
+
+class DurabilityError(ReproError):
+    """Base class for write-ahead-journal failures."""
+
+
+class JournalCorrupt(DurabilityError):
+    """A journal frame failed its CRC or the record stream is malformed."""
+
+
+class JournalRolledBack(DurabilityError):
+    """The journal is older than the hardware monotonic counter says it
+    must be: someone truncated it or substituted an earlier copy.  A
+    rolled-back journal is *refused*, never best-effort recovered — the
+    counter exists precisely so stale state cannot be replayed
+    (the Alder et al. rollback defense)."""
+
+
+class RecoveryError(DurabilityError):
+    """Crash recovery could not reconstruct a safe state from the journal."""
+
+
+class InvariantViolation(ReproError):
+    """The live invariant monitor observed a broken safety property.
+
+    In a correct run this never fires; it firing *is* the bug report —
+    more than one live instance of a migrated lineage, execution after
+    self-destroy, a double escrow release, or a software-readable CSSA.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Cryptography
 # ---------------------------------------------------------------------------

@@ -2,7 +2,8 @@
 
 * :mod:`repro.faults.plan` — :class:`FaultPlan`: a seedable, declarative
   schedule of infrastructure faults (message drop/duplicate/reorder/
-  corrupt/delay, endpoint crashes at protocol steps, link partitions).
+  corrupt/delay, endpoint crashes at protocol steps, party crashes at
+  journal-record boundaries, link partitions).
 * :mod:`repro.faults.injector` — :class:`FaultInjector`: binds a plan to
   a testbed's network, clock and orchestrator hooks.
 
@@ -16,6 +17,7 @@ live enclave lineage and the self-destroy invariant intact?
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import (
     MESSAGE_FAULT_KINDS,
+    MIGRATION_PARTIES,
     PROTOCOL_STEPS,
     STEP_BUILD_TARGET,
     STEP_CHECKPOINT,
@@ -27,6 +29,7 @@ from repro.faults.plan import (
     FaultPlan,
     MessageFault,
     PartitionFault,
+    RecordCrashFault,
     parse_fault_spec,
 )
 
@@ -35,9 +38,11 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "MESSAGE_FAULT_KINDS",
+    "MIGRATION_PARTIES",
     "MessageFault",
     "PROTOCOL_STEPS",
     "PartitionFault",
+    "RecordCrashFault",
     "STEP_BUILD_TARGET",
     "STEP_CHECKPOINT",
     "STEP_ESTABLISH_CHANNEL",

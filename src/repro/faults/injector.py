@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.errors import LinkPartitioned, LinkTimeout, MachineCrash
+from repro.errors import LinkPartitioned, LinkTimeout, MachineCrash, PartyCrash
 from repro.faults.plan import (
     KIND_CORRUPT,
     KIND_DELAY,
@@ -58,14 +58,20 @@ class FaultInjector:
 
     # ------------------------------------------------------------- wiring
     def attach(self, testbed: "Testbed") -> "FaultInjector":
-        """Install this injector on the testbed's network."""
+        """Install this injector on the testbed's network and journals."""
         self._tb = testbed
         testbed.network.injector = self
+        durable = getattr(testbed, "durable", None)
+        if durable is not None:
+            durable.injector = self
         return self
 
     def detach(self) -> None:
         if self._tb is not None:
             self._tb.network.injector = None
+            durable = getattr(self._tb, "durable", None)
+            if durable is not None and durable.injector is self:
+                durable.injector = None
             self._tb = None
 
     @property
@@ -176,3 +182,21 @@ class FaultInjector:
                 fault.spent = True
                 self._trace.emit("fault", "crash", side=fault.side, step=step)
                 raise MachineCrash(fault.side, step)
+
+    # ------------------------------------------------------------- journal hooks
+    def record_appended(self, party: str, journal: str, counter: int) -> None:
+        """Journal hook: crash ``party`` right after a record commits.
+
+        Fires *after* the monotonic-counter bump, so the committed record
+        always survives the crash — the sweep visits the window between
+        each pair of adjacent commits.
+        """
+        if self._tb is None:
+            return
+        for fault in self.plan.record_crash_faults:
+            if not fault.spent and fault.party == party and fault.at_record == counter:
+                fault.spent = True
+                self._trace.emit(
+                    "fault", "party_crash", party=party, journal=journal, record=counter
+                )
+                raise PartyCrash(party, counter, journal)

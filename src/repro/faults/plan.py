@@ -85,6 +85,36 @@ class CrashFault:
             raise ValueError(f"unknown protocol step {self.step!r}")
 
 
+#: Parties addressable by record-granularity crash faults (the four
+#: journal writers; see :mod:`repro.durability.wal`).
+MIGRATION_PARTIES = ("source", "target", "orchestrator", "agent")
+
+
+@dataclass
+class RecordCrashFault:
+    """Crash ``party`` right after it commits journal record ``at_record``.
+
+    This is the record-granularity refinement of :class:`CrashFault`: the
+    crash point is a *durability* boundary, not a protocol step, so a
+    sweep over ``at_record`` visits every window between two committed
+    records.  The record itself always survives (the injector fires after
+    the monotonic-counter bump), which is exactly the contract recovery
+    relies on.
+    """
+
+    party: str
+    at_record: int
+    spent: bool = False
+
+    def __post_init__(self) -> None:
+        if self.party not in MIGRATION_PARTIES:
+            raise ValueError(
+                f"crash party must be one of {MIGRATION_PARTIES}, got {self.party!r}"
+            )
+        if self.at_record < 1:
+            raise ValueError("at_record is 1-based")
+
+
 @dataclass
 class PartitionFault:
     """Sever the link for ``duration_ns`` of virtual time.
@@ -125,6 +155,7 @@ class FaultPlan:
     message_faults: list[MessageFault] = field(default_factory=list)
     crash_faults: list[CrashFault] = field(default_factory=list)
     partition_faults: list[PartitionFault] = field(default_factory=list)
+    record_crash_faults: list[RecordCrashFault] = field(default_factory=list)
 
     # ------------------------------------------------------------- builders
     def drop(self, label: str, nth: int = 1) -> "FaultPlan":
@@ -157,6 +188,10 @@ class FaultPlan:
         self.crash_faults.append(CrashFault(side, step))
         return self
 
+    def crash_at_record(self, party: str, at_record: int) -> "FaultPlan":
+        self.record_crash_faults.append(RecordCrashFault(party, at_record))
+        return self
+
     def partition(
         self, duration_ns: int, label: str | None = None, nth: int = 1
     ) -> "FaultPlan":
@@ -172,11 +207,19 @@ class FaultPlan:
             f"partition:{f.label or '*'}:{f.nth}:{f.duration_ns}ns"
             for f in self.partition_faults
         ]
+        parts += [
+            f"crash-record:{f.party}:{f.at_record}" for f in self.record_crash_faults
+        ]
         return ",".join(parts) if parts else "none"
 
     @property
     def empty(self) -> bool:
-        return not (self.message_faults or self.crash_faults or self.partition_faults)
+        return not (
+            self.message_faults
+            or self.crash_faults
+            or self.partition_faults
+            or self.record_crash_faults
+        )
 
 
 def parse_fault_spec(spec: str) -> FaultPlan:
@@ -186,6 +229,7 @@ def parse_fault_spec(spec: str) -> FaultPlan:
 
         drop|duplicate|reorder|corrupt|delay : LABEL [: NTH]
         crash : source|target : STEP
+        crash-record : PARTY : RECORD_NO
         partition : DURATION_MS [: LABEL [: NTH]]
     """
     plan = FaultPlan()
@@ -201,6 +245,10 @@ def parse_fault_spec(spec: str) -> FaultPlan:
             if len(fields) != 3:
                 raise ValueError(f"crash needs side and step: {item!r}")
             plan.crash(fields[1], fields[2])
+        elif kind == "crash-record":
+            if len(fields) != 3:
+                raise ValueError(f"crash-record needs party and record number: {item!r}")
+            plan.crash_at_record(fields[1], int(fields[2]))
         elif kind == "partition":
             if len(fields) < 2:
                 raise ValueError(f"partition needs a duration in ms: {item!r}")

@@ -1,0 +1,6 @@
+"""Runtime invariant monitoring (single instance, SPENT-stays-SPENT,
+escrow exactly-once, hardware-only CSSA)."""
+
+from repro.invariants.monitor import InvariantMonitor, active_monitors, reset_active
+
+__all__ = ["InvariantMonitor", "active_monitors", "reset_active"]

@@ -39,6 +39,12 @@ class Machine:
         self.hypervisor = Hypervisor(clock, costs, trace, self.cpu)
         self.qemu = QemuMonitor(self.hypervisor)
         self.quoting_enclave: QuotingEnclave | None = None
+        #: Stable storage shared by the testbed (set by ``build_testbed``);
+        #: when present, enclave libraries on this machine keep write-ahead
+        #: journals on it.  None for machines built outside a testbed.
+        self.durable = None
+        #: The testbed's invariant monitor, if one is attached.
+        self.monitor = None
 
     def provision(self, ias: AttestationService) -> None:
         """Manufacture-time step: install a QE and register with IAS."""

@@ -19,6 +19,7 @@ from repro.crypto.authenc import Envelope, open_envelope, seal_envelope
 from repro.crypto.dh import MODP_2048_G, MODP_2048_P
 from repro.crypto.hashes import sha256
 from repro.crypto.keys import SymmetricKey
+from repro.durability.wal import PARTY_AGENT
 from repro.errors import AttestationError, ChannelError, MigrationError, NetworkFault
 from repro.migration.orchestrator import RetryPolicy
 from repro.sdk import control
@@ -79,6 +80,37 @@ def agent_store_escrow(rt: EnclaveRuntime, source_dh_public: int, sealed: bytes)
     }
     rt.store_obj(OBJ_ESCROW, table)
     rt.delete_obj(OBJ_BOOT)
+    # Durable escrow: the entry is sealed under the *agent's* EGETKEY key
+    # so a rebuilt agent (same measurement, same CPU) can reload it.
+    rt.journal_record(
+        "escrow",
+        {"key_id": key_id},
+        secret={
+            "key_id": key_id,
+            "kmigrate": payload["kmigrate"],
+            "sequence": payload["sequence"],
+        },
+    )
+
+
+def agent_recover_escrow(rt: EnclaveRuntime, sealed: bytes, released: bool) -> None:
+    """Crash recovery: reload one journaled escrow entry.
+
+    ``sealed`` is a journal-sealed ``escrow`` record payload — only a
+    same-measurement agent on this CPU can open it.  ``released`` comes
+    from replaying the validated journal (an ``escrow-release`` record
+    after the ``escrow`` record): dropping that record to get a second
+    release would shorten the journal below its monotonic counter, which
+    replay refuses as a rollback.
+    """
+    payload = rt.journal_unseal(sealed)
+    table = rt.load_obj(OBJ_ESCROW, default={}) or {}
+    table[payload["key_id"]] = {
+        "kmigrate": payload["kmigrate"],
+        "sequence": payload["sequence"],
+        "released": bool(released),
+    }
+    rt.store_obj(OBJ_ESCROW, table)
 
 
 def agent_release_key(
@@ -103,6 +135,10 @@ def agent_release_key(
         raise MigrationError("escrowed key was already released (single instance)")
     record["released"] = True
     rt.store_obj(OBJ_ESCROW, table)
+    # Commit the release *before* the sealed key leaves the enclave: a
+    # crash after this point recovers the entry as released, so the key
+    # can never be handed out twice across a crash.
+    rt.journal_record("escrow-release", {"key_id": key_id})
 
     private = rt.rdrand.getrandbits(256) | (1 << 255)
     agent_dh_public = pow(MODP_2048_G, private, MODP_2048_P)
@@ -136,6 +172,10 @@ class AgentService:
         self.app = HostApplication(
             testbed.target, testbed.target_os, built_agent.image, workers=[], name="agent"
         )
+        # The agent is its own protocol party: record-granularity crash
+        # faults address it as "agent", not as the target machine.
+        if self.app.library.journal is not None:
+            self.app.library.journal.party = PARTY_AGENT
         self.app.library.launch(owner=None)
 
     @property
@@ -182,6 +222,39 @@ class AgentService:
         agent_pub, sealed = self.app.library.control_call(
             agent_release_key, report, requester_pub
         )
+        self.tb.trace.emit(
+            "agent", "release", key_id=target_app.image.mrenclave.hex()
+        )
         target_app.library.control_call(
             control.target_install_agent_key, agent_pub, sealed
         )
+
+    def recover(self) -> int:
+        """Rebuild a crashed agent from its journal; returns entries reloaded.
+
+        The journal is validated first (a rolled-back log raises and stops
+        recovery); every sealed ``escrow`` record is reinstalled with its
+        release status replayed from the subsequent ``escrow-release``
+        records, so an already-released key stays released.
+        """
+        library = self.app.library
+        journal = library.journal
+        if journal is None:
+            raise MigrationError("agent has no journal to recover from")
+        records = journal.records()  # raises on corruption / rollback
+        if library.enclave_id is None:
+            library.launch(owner=None)
+        released: set[str] = set()
+        entries: dict[str, bytes] = {}
+        for record in records:
+            if record.kind == "escrow":
+                key_id = record.payload["key_id"]
+                entries[key_id] = record.payload["sealed"]
+                released.discard(key_id)  # a re-escrow supersedes history
+            elif record.kind == "escrow-release":
+                released.add(record.payload["key_id"])
+        for key_id, sealed in entries.items():
+            library.control_call(
+                agent_recover_escrow, sealed, key_id in released
+            )
+        return len(entries)

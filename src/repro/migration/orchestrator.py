@@ -42,6 +42,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.durability import wal
+from repro.durability.journal import Journal
 from repro.errors import (
     ChunkError,
     CryptoError,
@@ -52,6 +54,7 @@ from repro.errors import (
     MigrationAborted,
     MigrationError,
     NetworkFault,
+    PartyCrash,
     ReproError,
     SelfDestroyed,
     StepTimeout,
@@ -182,6 +185,11 @@ class MigrationOrchestrator:
         self._key_released = False
         self._key_delivered = False
         self._source_crashed = False
+        # Durability: the orchestrator's own write-ahead log plus the
+        # in-flight target, both consulted by crash recovery.
+        self._wal: Journal | None = None
+        self._current_target: HostApplication | None = None
+        self._lineage: int | None = None
 
     # ------------------------------------------------------------- pieces
     def checkpoint_enclave(self, app: HostApplication) -> None:
@@ -324,6 +332,10 @@ class MigrationOrchestrator:
         """
         sealed = app.library.control_call(control.source_release_key)
         self._key_released = True
+        # The sealed blob is ciphertext under the session key; journaling
+        # it lets recovery *redeliver* it after a crash, which is exactly
+        # as harmless as the retransmission loop below.
+        self._wal_append(wal.WAL_RELEASE, {"sealed": sealed})
         backoff = self.retry.base_backoff_ns
         last_exc: Exception | None = None
         for round_no in range(self.retry.max_transfer_rounds):
@@ -336,6 +348,7 @@ class MigrationOrchestrator:
                 delivered = self.tb.network.transfer("kmigrate", sealed)
                 target_app.library.control_call(control.target_receive_key, delivered)
                 self._key_delivered = True
+                self._wal_append(wal.WAL_DELIVERED)
                 return
             except (NetworkFault, IntegrityError, CryptoError, SerdeError) as exc:
                 last_exc = exc
@@ -358,6 +371,7 @@ class MigrationOrchestrator:
         """Abort a migration before the key handoff; workers resume."""
         app.library.control_call(control.source_cancel_migration)
         app.library.last_checkpoint = None
+        self._wal_append(wal.WAL_CANCEL)
 
     # ------------------------------------------------------------- full flow
     def migrate_enclave(self, app: HostApplication) -> EnclaveMigrationResult:
@@ -372,6 +386,12 @@ class MigrationOrchestrator:
         self._key_released = False
         self._key_delivered = False
         self._source_crashed = False
+        self._current_target = None
+        self._wal = self._make_wal(app)
+        self._wal_append(wal.WAL_BEGIN, {"image": app.image.name})
+        monitor = getattr(self.tb, "monitor", None)
+        if monitor is not None:
+            self._lineage = monitor.register_lineage(app)
         if self.retry.max_attempts <= 1 and self.faults is None:
             return self._attempt_migration(app)
 
@@ -389,6 +409,13 @@ class MigrationOrchestrator:
                 return self._attempt_migration(app, bytes_baseline=bytes_before)
             except MigrationAborted:
                 self._record_abort("aborted")
+                raise
+            except PartyCrash as exc:
+                # A party crash ends the protocol run where it stands: no
+                # cleanup, no retry — only journal-driven recovery may
+                # touch the migration now.  Model the physical effect of
+                # the crash (the party's volatile state is gone) and stop.
+                self._apply_party_crash(exc, app)
                 raise
             except MachineCrash as exc:
                 last_exc = exc
@@ -441,19 +468,37 @@ class MigrationOrchestrator:
             checkpoint = app.library.last_checkpoint
             if checkpoint is None:  # pragma: no cover - guard
                 raise MigrationError("checkpoint generation failed")
+            self._wal_append(
+                wal.WAL_CHECKPOINT,
+                {
+                    "envelope": checkpoint.envelope.to_bytes(),
+                    "sequence": checkpoint.sequence,
+                },
+            )
 
             self._begin_step(app, STEP_BUILD_TARGET)
             target_app = self.build_virgin_target(app)
+            self._current_target = target_app
+            self._wal_append(wal.WAL_TARGET_BUILT)
             self._begin_step(app, STEP_ESTABLISH_CHANNEL)
             self.establish_channel(app, target_app)
+            self._wal_append(wal.WAL_CHANNEL)
             self._begin_step(app, STEP_TRANSFER_CHECKPOINT)
             delivered_checkpoint = self.transfer_checkpoint(app)
+            self._wal_append(wal.WAL_TRANSFERRED, {"blob": delivered_checkpoint})
             self._begin_step(app, STEP_HANDOFF_KEY)
             self.handoff_key(app, target_app)
             self._begin_step(app, STEP_RESTORE)
             plan = self.restore(target_app, delivered_checkpoint)
+            self._wal_append(
+                wal.WAL_RESTORED, {"plan": {str(k): v for k, v in plan.items()}}
+            )
             target_app.respawn_after_restore(plan)
             self.tb.target_os.end_migration()
+            self._wal_append(wal.WAL_DONE)
+            monitor = getattr(self.tb, "monitor", None)
+            if monitor is not None and self._lineage is not None:
+                monitor.join_lineage(self._lineage, target_app)
             return EnclaveMigrationResult(
                 target_app=target_app,
                 replay_plan=plan,
@@ -462,9 +507,12 @@ class MigrationOrchestrator:
                 attempts=max(self.stats.attempts, 1),
                 stats=self.stats,
             )
+        except PartyCrash:
+            raise  # no graceful cleanup: the crash left things as they are
         except BaseException:
             if target_app is not None:
                 self._destroy_target(target_app)
+                self._current_target = None
             self._recover_source(app)
             raise
 
@@ -484,6 +532,44 @@ class MigrationOrchestrator:
             if exc.side == "source":
                 self._crash_source(app)
             raise
+
+    # ------------------------------------------------------------- durability
+    def _make_wal(self, app: HostApplication) -> Journal | None:
+        durable = getattr(self.tb, "durable", None)
+        if durable is None:
+            return None
+        return Journal(
+            durable,
+            wal.orchestrator_journal_name(app.image.name),
+            wal.PARTY_ORCHESTRATOR,
+        )
+
+    def _wal_append(self, kind: str, payload: dict | None = None) -> None:
+        if self._wal is not None:
+            self._wal.append(kind, payload)
+
+    def _apply_party_crash(self, exc: PartyCrash, app: HostApplication) -> None:
+        """Model the physical consequence of a party's process dying.
+
+        A source or target crash takes its enclave (EPC contents are
+        volatile) and freezes its host process.  An orchestrator crash
+        kills only the driver — both machines keep running, which is
+        exactly why its journal has to be enough to finish the job.
+        """
+        self.stats.crashes_seen += 1
+        if exc.party == wal.PARTY_SOURCE:
+            self._halt_process(app)
+            self._crash_source(app)
+        elif exc.party == wal.PARTY_TARGET and self._current_target is not None:
+            self._halt_process(self._current_target)
+            try:
+                self._current_target.destroy()
+            except ReproError:
+                pass
+
+    def _halt_process(self, app: HostApplication) -> None:
+        for thread in app.process.threads:
+            thread.suspended = True
 
     # ------------------------------------------------------------- recovery
     def _past_point_of_no_return(self) -> bool:
@@ -510,12 +596,15 @@ class MigrationOrchestrator:
             return
         try:
             self.cancel(app)
+        except PartyCrash:
+            raise  # a crash during cleanup is still a crash
         except ReproError:  # pragma: no cover - cancel is best-effort
             pass
 
     def _record_abort(self, reason: str) -> None:
         self.stats.aborts += 1
         self.tb.trace.emit("migration", "abort", reason=reason)
+        self._wal_append(wal.WAL_ABORT, {"reason": reason})
 
     def _abort(self, app: HostApplication, reason: str, cause: Exception | None) -> None:
         """Give up cleanly: no half-built target, no resurrectable source."""

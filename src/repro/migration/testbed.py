@@ -8,11 +8,13 @@ clock so every experiment is deterministic and timing-consistent.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.crypto.keys import KeyPair
 from repro.crypto.rsa import generate_rsa_keypair
+from repro.durability.store import DurableStore
 from repro.guestos.kernel import GuestOs
+from repro.invariants.monitor import InvariantMonitor
 from repro.hypervisor.vm import Vm
 from repro.machine import Machine
 from repro.net.network import Network
@@ -43,6 +45,10 @@ class Testbed:
     target_os: GuestOs
     builder: SdkBuilder
     owner: EnclaveOwner
+    #: Stable storage for write-ahead journals; survives party crashes.
+    durable: DurableStore = field(default_factory=DurableStore)
+    #: Live safety-invariant monitor; attached by :func:`build_testbed`.
+    monitor: InvariantMonitor | None = None
 
 
 def build_testbed(
@@ -98,7 +104,7 @@ def build_testbed(
     builder = SdkBuilder(vendor_key, rng.fork("builder"))
     owner = EnclaveOwner("owner", ias, clock, costs, rng.fork("owner"))
 
-    return Testbed(
+    testbed = Testbed(
         clock=clock,
         trace=trace,
         rng=rng,
@@ -114,3 +120,10 @@ def build_testbed(
         builder=builder,
         owner=owner,
     )
+    # Durable journals + the live invariant monitor are part of the
+    # standard setup: every enclave library built on these machines
+    # journals its state transitions, and the monitor watches every run.
+    source.durable = target.durable = testbed.durable
+    testbed.monitor = InvariantMonitor(testbed)
+    testbed.monitor.attach()
+    return testbed

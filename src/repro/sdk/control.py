@@ -194,6 +194,14 @@ def generate_checkpoint(
     for _ in range(slices):
         yield crypto_ns // slices
     envelope = seal_checkpoint(checkpoint, kmigrate, rt.random_bytes(16), algorithm)
+    # Durability: the sealed envelope is ciphertext the host sees anyway;
+    # K_migrate goes into the record sealed under this enclave's own
+    # EGETKEY key, so only a same-measurement rebuild can ever read it.
+    rt.journal_record(
+        "checkpoint",
+        {"sequence": sequence, "envelope": envelope.to_bytes()},
+        secret={"kmigrate": kmigrate.material, "sequence": sequence},
+    )
     return CheckpointResult(
         envelope=envelope,
         memory_bytes=body_len,
@@ -327,6 +335,7 @@ def source_open_channel(
     channel.update({"session_key": session_key, "role": "source"})
     rt.store_obj(OBJ_CHANNEL, channel)
     rt.set_channel_state(CHANNEL_OPEN)
+    rt.journal_record("channel-open")
     return source_dh_public, signature
 
 
@@ -358,6 +367,7 @@ def target_complete_channel(
     rt.store_obj(OBJ_CHANNEL, channel)
     rt.set_channel_state(CHANNEL_OPEN)
     rt.delete_obj(OBJ_BOOT)
+    rt.journal_record("channel")
 
 
 def _session_key(rt: EnclaveRuntime) -> SymmetricKey:
@@ -392,6 +402,11 @@ def source_release_key(rt: EnclaveRuntime) -> bytes:
         "aes",
         aad=b"kmigrate",
     )
+    # Journal the transition *before* flipping the state: whatever the
+    # crash timing, a "released" record on disk means this instance must
+    # recover as SPENT — the converse (SPENT without a record) cannot
+    # happen because the record commits first.
+    rt.journal_record("released", {"sequence": channel["sequence"]})
     # Self-destroy: the global flag stays set forever and the channel is
     # marked spent, so no second checkpoint, channel or key can exist.
     rt.set_channel_state(CHANNEL_SPENT)
@@ -413,6 +428,7 @@ def source_cancel_migration(rt: EnclaveRuntime) -> None:
     rt.store_obj(OBJ_CHANNEL, channel)
     rt.set_channel_state(CHANNEL_NONE)
     rt.set_global_flag(0)  # workers leave the spin region
+    rt.journal_record("cancelled")
 
 
 def target_receive_key(rt: EnclaveRuntime, sealed: bytes) -> None:
@@ -421,6 +437,30 @@ def target_receive_key(rt: EnclaveRuntime, sealed: bytes) -> None:
         open_envelope(_session_key(rt), Envelope.from_bytes(sealed), aad=b"kmigrate")
     )
     channel = rt.load_obj(OBJ_CHANNEL)
+    channel["kmigrate"] = payload["kmigrate"]
+    channel["expected_sequence"] = payload["sequence"]
+    rt.store_obj(OBJ_CHANNEL, channel)
+    # Re-sealed under *this* enclave's EGETKEY key: if the target dies
+    # after this point, a same-measurement rebuild recovers K_migrate
+    # from its own journal instead of begging the (SPENT) source.
+    rt.journal_record(
+        "key-installed",
+        {"sequence": payload["sequence"]},
+        secret={"kmigrate": payload["kmigrate"], "sequence": payload["sequence"]},
+    )
+
+
+def recovery_install_key(rt: EnclaveRuntime, sealed: bytes) -> None:
+    """Crash recovery: re-install a K_migrate this enclave identity
+    journaled earlier.
+
+    ``sealed`` is the journal-sealed record payload; only an enclave with
+    the same measurement on the same CPU can open it (EGETKEY policy), so
+    the untrusted recovery driver can *carry* the blob but never read or
+    forge it.
+    """
+    payload = rt.journal_unseal(sealed)
+    channel = rt.load_obj(OBJ_CHANNEL, default={}) or {}
     channel["kmigrate"] = payload["kmigrate"]
     channel["expected_sequence"] = payload["sequence"]
     rt.store_obj(OBJ_CHANNEL, channel)
@@ -476,7 +516,9 @@ def source_escrow_to_agent(
         "aes",
         aad=b"agent-escrow",
     )
-    # Point of no return: the key has left this instance.
+    # Point of no return: the key has left this instance.  Same commit
+    # order as source_release_key: record first, then SPENT.
+    rt.journal_record("released", {"sequence": channel["sequence"], "escrow": True})
     rt.set_channel_state(CHANNEL_SPENT)
     return source_dh_public, sealed.to_bytes()
 
@@ -518,6 +560,11 @@ def target_install_agent_key(
     channel["expected_sequence"] = payload["sequence"]
     rt.store_obj(OBJ_CHANNEL, channel)
     rt.delete_obj(OBJ_BOOT)
+    rt.journal_record(
+        "key-installed",
+        {"sequence": payload["sequence"], "via": "agent"},
+        secret={"kmigrate": payload["kmigrate"], "sequence": payload["sequence"]},
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -607,5 +654,6 @@ def target_verify_and_finish(rt: EnclaveRuntime, sealed_checkpoint: bytes) -> No
             record = rt.layout.tcs_record_vaddr(template.index, TCS_CSSA_EENTER_OFF)
             rt.store_u64(record, state.cssa)
 
+    rt.journal_record("live")
     rt.set_restore_mode(0)
     rt.set_global_flag(0)  # end of migration: workers may run

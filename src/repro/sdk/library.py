@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable, Iterator
 
+from repro.durability.journal import Journal
+from repro.durability.wal import enclave_journal_name
 from repro.errors import MigrationError
 from repro.guestos.process import SIGUSR1, GuestProcess, GuestThread
 from repro.sdk import control
@@ -58,6 +60,18 @@ class SgxLibrary:
         self.checkpoint_use_installed_key = False
         #: Platform supports SGX v2 EDMM: W+X pages become migratable.
         self.sgx_v2 = False
+        #: Write-ahead journal for this enclave's protocol transitions,
+        #: named by role so a rebuilt instance finds its own log again.
+        #: None when the machine has no durable store.
+        durable = getattr(machine, "durable", None)
+        if durable is not None:
+            self.journal = Journal(
+                durable,
+                enclave_journal_name(machine.name, image.name),
+                machine.name,
+            )
+        else:
+            self.journal = None
 
     # ------------------------------------------------------------- plumbing
     @property
@@ -79,6 +93,7 @@ class SgxLibrary:
     def _runtime(self, session) -> EnclaveRuntime:
         rt = EnclaveRuntime(session, self.image, self._fault, self.rdrand)
         rt.install_ocall_table(self.ocall_handlers)
+        rt._journal = self.journal
         return rt
 
     def register_ocall(self, name: str, handler) -> None:
@@ -195,6 +210,9 @@ class SgxLibrary:
             isa.eexit(rt.session)
         yield charged[0]
         self.process.shared_memory[f"result/{entry_name}/{worker_index}"] = result
+        monitor = getattr(self.machine, "monitor", None)
+        if monitor is not None:
+            monitor.on_ecall_result(self)
         if on_result is not None:
             on_result(result)
         return result

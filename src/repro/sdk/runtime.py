@@ -18,6 +18,7 @@ from __future__ import annotations
 import struct
 from typing import Any, Callable
 
+from repro.crypto.authenc import Envelope, open_envelope, seal_envelope
 from repro.errors import EnclavePageFault, MigrationError
 from repro.sdk.image import (
     FLAG_BUSY,
@@ -50,6 +51,11 @@ class EnclaveRuntime:
         self.layout = image.layout
         self._fault_handler = fault_handler
         self.rdrand = rdrand  # models the in-enclave RDRAND entropy source
+        #: Write-ahead journal for this enclave's protocol transitions
+        #: (installed by the SDK library when the machine has durable
+        #: storage; None means journaling is off, e.g. unit tests that
+        #: build runtimes by hand).
+        self._journal = None
 
     # ------------------------------------------------------------ raw memory
     def read(self, vaddr: int, n: int) -> bytes:
@@ -286,6 +292,48 @@ class EnclaveRuntime:
     def install_ocall_table(self, table: dict[str, Callable[[Any], Any]]) -> None:
         """Called by the SGX library when it opens a session."""
         self._ocall_table = dict(table)
+
+    # ------------------------------------------------------------ durability
+    def journal_record(self, kind: str, payload: dict | None = None, secret=None) -> None:
+        """Append one write-ahead record for this enclave's party.
+
+        ``payload`` goes to the (untrusted) log in the clear — it must
+        only carry public protocol state and ciphertext the adversary
+        already sees.  ``secret`` is sealed under this enclave's EGETKEY
+        sealing key first (MRENCLAVE policy: only a same-measurement
+        enclave on this CPU can unseal it after a crash) and stored as
+        ``payload["sealed"]``.  No-op when journaling is off.
+        """
+        if self._journal is None:
+            return
+        if secret is not None:
+            payload = dict(payload or {})
+            payload["sealed"] = self.journal_seal(secret)
+        self._journal.append(kind, payload)
+
+    def journal_seal(self, value) -> bytes:
+        """Seal a serde value for journal storage (crash-survivable)."""
+        envelope = seal_envelope(
+            self._journal_seal_key(),
+            pack(value),
+            self.random_bytes(16),
+            "aes",
+            aad=b"journal",
+        )
+        return envelope.to_bytes()
+
+    def journal_unseal(self, blob: bytes):
+        """Open a journal-sealed blob (same measurement, same CPU only)."""
+        envelope = Envelope.from_bytes(blob)
+        return unpack(open_envelope(self._journal_seal_key(), envelope, aad=b"journal"))
+
+    def _journal_seal_key(self):
+        # Imported lazily: instructions/authenc import serde/keys, and a
+        # module-level import here would cycle through the SDK package.
+        from repro.crypto.keys import SymmetricKey
+        from repro.sgx.instructions import egetkey
+
+        return SymmetricKey(egetkey(self.session, "seal_mrenclave"), "journal-seal")
 
     # ------------------------------------------------------------ entropy
     def random_bytes(self, n: int) -> bytes:

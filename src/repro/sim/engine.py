@@ -110,6 +110,10 @@ class Engine:
         self._consecutive_idle = 0
         #: Idle rounds tolerated before declaring a stall.
         self.max_idle_rounds = 10_000
+        #: Zero-argument callables invoked after every productive round;
+        #: the invariant monitor uses this to watch the system live.  A
+        #: hook that raises aborts the round loop — that is the point.
+        self.round_hooks: list[Callable[[], None]] = []
 
     # ------------------------------------------------------------- membership
     def add(self, thread: SimThread) -> SimThread:
@@ -181,6 +185,8 @@ class Engine:
             round_cost += self.context_switch_ns
         self.clock.advance(round_cost)
         self.rounds_run += 1
+        for hook in self.round_hooks:
+            hook()
         return True
 
     def run(

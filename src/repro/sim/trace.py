@@ -34,13 +34,23 @@ class EventTrace:
         self._clock = clock
         self._events: list[Event] = []
         self._counters: Counter[str] = Counter()
+        self._observers: list[Any] = []
 
     # ---------------------------------------------------------------- record
     def emit(self, category: str, name: str, /, **payload: Any) -> Event:
         """Record an event at the current virtual time."""
         event = Event(self._clock.now_ns, category, name, payload)
         self._events.append(event)
+        for observer in self._observers:
+            observer(event)
         return event
+
+    def add_observer(self, observer) -> None:
+        """Call ``observer(event)`` on every future emit (live monitors).
+
+        Observers survive :meth:`clear` — they watch the stream, not the
+        stored history."""
+        self._observers.append(observer)
 
     def count(self, counter: str, delta: int = 1) -> None:
         """Add ``delta`` to the named counter."""

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.invariants import active_monitors, reset_active
 from repro.migration.testbed import Testbed, build_testbed
 from repro.sdk.host import HostApplication, WorkerSpec
 from repro.sdk.program import AtomicEntry, EnclaveProgram, ResumableEntry
@@ -11,6 +12,25 @@ from repro.sim.clock import VirtualClock
 from repro.sim.costs import DEFAULT_COSTS
 from repro.sim.rng import DeterministicRng
 from repro.sim.trace import EventTrace
+
+
+@pytest.fixture(autouse=True)
+def invariant_watchdog():
+    """Suite-wide safety net: every testbed's invariant monitor must end clean.
+
+    A violation normally raises at the moment it is observed, but a retry
+    loop in the code under test may swallow the exception; the monitor
+    also *records* every violation, and this fixture re-raises any that
+    survived to teardown.  Tests that deliberately break an invariant
+    call ``monitor.acknowledge()`` before returning.
+    """
+    reset_active()
+    try:
+        yield
+        for monitor in active_monitors():
+            monitor.assert_clean()
+    finally:
+        reset_active()
 
 
 @pytest.fixture

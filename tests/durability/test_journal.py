@@ -1,0 +1,214 @@
+"""The write-ahead journal: framing, commit semantics, tamper defense."""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import pytest
+
+from repro.durability import DurableStore, Journal
+from repro.errors import JournalCorrupt, JournalRolledBack
+from repro.migration.testbed import build_testbed
+from tests.conftest import build_counter_app
+
+
+@pytest.fixture
+def store() -> DurableStore:
+    return DurableStore()
+
+
+@pytest.fixture
+def journal(store) -> Journal:
+    return Journal(store, "enclave/source/demo", "source")
+
+
+class TestAppendReplay:
+    def test_roundtrip(self, journal):
+        journal.append("begin", {"image": "demo"})
+        journal.append("checkpoint", {"sequence": 1, "blob": b"\x00\x01"})
+        journal.append("released")
+        records = journal.records()
+        assert [r.kind for r in records] == ["begin", "checkpoint", "released"]
+        assert [r.counter for r in records] == [1, 2, 3]
+        assert records[1].payload == {"sequence": 1, "blob": b"\x00\x01"}
+        assert records[2].payload is None
+
+    def test_append_returns_counter_and_bumps_hardware(self, store, journal):
+        assert journal.append("a") == 1
+        assert journal.append("b") == 2
+        assert store.counter(journal.name) == 2
+
+    def test_queries(self, journal):
+        journal.append("checkpoint", {"sequence": 1})
+        journal.append("channel")
+        journal.append("checkpoint", {"sequence": 2})
+        assert journal.has("channel")
+        assert not journal.has("released")
+        assert journal.last("checkpoint").payload == {"sequence": 2}
+        assert len(journal.find("checkpoint")) == 2
+        assert journal.kinds() == ["checkpoint", "channel", "checkpoint"]
+        assert len(journal) == 3
+
+    def test_journals_are_independent(self, store):
+        a = Journal(store, "enclave/source/a", "source")
+        b = Journal(store, "enclave/target/a", "target")
+        a.append("one")
+        assert b.records() == []
+        assert store.counter(b.name) == 0
+
+
+class TestTamperDefense:
+    def test_crc_flip_is_corrupt(self, store, journal):
+        journal.append("checkpoint", {"sequence": 1})
+        log = store.log(journal.name)
+        log[len(log) // 2] ^= 0x40
+        with pytest.raises(JournalCorrupt):
+            journal.records()
+
+    def test_torn_tail_header_is_dropped(self, store, journal):
+        journal.append("a")
+        # A crash mid-append leaves a partial frame header with no commit.
+        store.log(journal.name).extend(b"\x99\x00")
+        assert [r.kind for r in journal.records()] == ["a"]
+
+    def test_uncommitted_full_frame_is_dropped(self, store, journal):
+        journal.append("a")
+        # Frame fully written but the counter bump never happened: the
+        # record has counter == hw_counter + 1 and must not replay.
+        from repro import serde
+
+        body = serde.pack({"c": 2, "k": "b", "p": None})
+        frame = struct.pack("<II", len(body), zlib.crc32(body)) + body
+        store.log(journal.name).extend(frame)
+        assert [r.kind for r in journal.records()] == ["a"]
+
+    def test_truncated_journal_is_refused_as_rollback(self, store, journal):
+        journal.append("a")
+        before_released = len(store.log(journal.name))
+        journal.append("released")
+        # The adversary truncates the log back to before the release —
+        # the classic rollback.  The monotonic counter refuses it.
+        del store.log(journal.name)[before_released:]
+        with pytest.raises(JournalRolledBack):
+            journal.records()
+
+    def test_substituted_earlier_copy_is_refused(self, store, journal):
+        journal.append("a")
+        snapshot = bytes(store.log(journal.name))
+        journal.append("b")
+        journal.append("c")
+        log = store.log(journal.name)
+        log.clear()
+        log.extend(snapshot)
+        with pytest.raises(JournalRolledBack):
+            journal.records()
+
+    def test_counter_gap_is_corrupt(self, store, journal):
+        from repro import serde
+
+        journal.append("a")
+        body = serde.pack({"c": 3, "k": "skip", "p": None})
+        frame = struct.pack("<II", len(body), zlib.crc32(body)) + body
+        store.log(journal.name).extend(frame)
+        store.counter_bump(journal.name)
+        store.counter_bump(journal.name)
+        with pytest.raises(JournalCorrupt):
+            journal.records()
+
+
+class TestSealedRecords:
+    def test_seal_roundtrip_inside_enclave(self):
+        tb = build_testbed(seed=61)
+        app = build_counter_app(tb, tag="seal")
+        secret = {"kmigrate": b"\xaa" * 16, "sequence": 3}
+
+        def seal(rt):
+            return rt.journal_seal(secret)
+
+        blob = app.library.control_call(seal)
+        assert b"\xaa" * 16 not in blob  # sealed, not encoded
+
+        def unseal(rt, sealed):
+            return rt.journal_unseal(sealed)
+
+        assert app.library.control_call(unseal, blob) == secret
+
+    def test_seal_survives_instance_rebuild(self):
+        """Same measurement + same machine ⇒ a rebuilt enclave can unseal."""
+        tb = build_testbed(seed=62)
+        app = build_counter_app(tb, tag="reseal")
+        blob = app.library.control_call(lambda rt: rt.journal_seal({"v": 9}))
+        app.library.destroy()
+        app.library.launch(owner=None)
+        assert app.library.control_call(
+            lambda rt, b: rt.journal_unseal(b), blob
+        ) == {"v": 9}
+
+    def test_other_measurement_cannot_unseal(self):
+        from repro.errors import ReproError
+
+        tb = build_testbed(seed=63)
+        app = build_counter_app(tb, tag="sealer")
+        other = build_counter_app(tb, tag="intruder")
+        blob = app.library.control_call(lambda rt: rt.journal_seal({"v": 1}))
+        with pytest.raises(ReproError):
+            other.library.control_call(lambda rt, b: rt.journal_unseal(b), blob)
+
+
+class TestMigrationJournaling:
+    def test_every_party_journals_a_clean_migration(self):
+        from repro.durability import wal
+        from repro.migration.orchestrator import MigrationOrchestrator
+
+        tb = build_testbed(seed=64)
+        app = build_counter_app(tb, tag="journaled")
+        app.ecall_once(0, "incr", 5)
+        MigrationOrchestrator(tb).migrate_enclave(app)
+        image = app.image.name
+        orch_journal = Journal(
+            tb.durable, wal.orchestrator_journal_name(image), wal.PARTY_ORCHESTRATOR
+        )
+        src_journal = Journal(
+            tb.durable, wal.enclave_journal_name("source", image), wal.PARTY_SOURCE
+        )
+        tgt_journal = Journal(
+            tb.durable, wal.enclave_journal_name("target", image), wal.PARTY_TARGET
+        )
+        assert orch_journal.kinds() == [
+            wal.WAL_BEGIN,
+            wal.WAL_CHECKPOINT,
+            wal.WAL_TARGET_BUILT,
+            wal.WAL_CHANNEL,
+            wal.WAL_TRANSFERRED,
+            wal.WAL_RELEASE,
+            wal.WAL_DELIVERED,
+            wal.WAL_RESTORED,
+            wal.WAL_DONE,
+        ]
+        assert src_journal.kinds() == [
+            wal.REC_CHECKPOINT,
+            wal.REC_CHANNEL_OPEN,
+            wal.REC_RELEASED,
+        ]
+        assert tgt_journal.kinds() == [
+            wal.REC_CHANNEL,
+            wal.REC_KEY_INSTALLED,
+            wal.REC_LIVE,
+        ]
+
+    def test_journaled_secrets_are_sealed(self):
+        """K_migrate never hits the untrusted store in the clear."""
+        from repro.migration.orchestrator import MigrationOrchestrator
+        from repro.sdk import control
+
+        tb = build_testbed(seed=65)
+        app = build_counter_app(tb, tag="sealed-secrets")
+        orch = MigrationOrchestrator(tb)
+        orch.checkpoint_enclave(app)
+        kmigrate = app.library.control_call(
+            lambda rt: (rt.load_obj(control.OBJ_CHANNEL) or {}).get("kmigrate")
+        )
+        assert kmigrate is not None
+        for name in tb.durable.names():
+            assert kmigrate not in bytes(tb.durable.log(name))

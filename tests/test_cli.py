@@ -65,6 +65,29 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["faults", "--plan", "explode:everything"])
 
+    def test_faults_reference_comparison(self, capsys):
+        """A survivable plan must also *match* the fault-free reference."""
+        assert main(["faults", "--plan", "delay:kmigrate"]) == 0
+        out = capsys.readouterr().out
+        assert "DIVERGED" not in out
+        assert "COMPLETED" in out
+
+    def test_recover_crash_point(self, capsys):
+        assert main(["recover", "--plan", "crash-record:target:2"]) == 0
+        out = capsys.readouterr().out
+        assert "recovery: completed" in out
+        assert "invariants: CLEAN" in out
+
+    def test_recover_spent_source_stays_spent(self, capsys):
+        assert main(["recover", "--plan", "crash-record:source:3"]) == 0
+        out = capsys.readouterr().out
+        assert "live instances: 0" in out
+        assert "invariants: CLEAN" in out
+
+    def test_recover_requires_crash_record_fault(self):
+        with pytest.raises(SystemExit):
+            main(["recover", "--plan", "drop:kmigrate"])
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
