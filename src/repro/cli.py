@@ -13,14 +13,38 @@ Commands:
 * ``recover``   — crash one party at a journal-record boundary, rebuild
   the migration from the write-ahead journals, and print the invariant
   verdict.
+* ``trace``     — run one seeded migration and export its span trace
+  (Chrome trace_event JSON, JSONL, or the phase-timeline report).
+* ``metrics``   — run one seeded migration and export its metrics
+  snapshot (Prometheus text or JSON); ``--require`` turns it into a CI
+  gate that fails when a metric is absent or zero.
 * ``inventory`` — print the system inventory (modules and their paper
   sections).
+
+``faults`` and ``recover`` take ``--json`` to emit their report as one
+machine-readable JSON object instead of prose (same exit codes).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+
+
+def _json_dumps(payload) -> str:
+    from repro.telemetry.exporters import json_safe
+
+    return json.dumps(json_safe(payload), indent=2, sort_keys=True)
+
+
+def _write_or_print(text: str, out: str | None, what: str) -> None:
+    if out:
+        with open(out, "w", encoding="utf-8") as fh:
+            fh.write(text if text.endswith("\n") else text + "\n")
+        print(f"wrote {what} to {out}")
+    else:
+        print(text)
 
 
 def _cmd_demo(_args) -> int:
@@ -183,7 +207,9 @@ def _cmd_faults(args) -> int:
     ).launch()
     app.ecall_once(0, "incr", 7)
 
-    print(f"fault plan: {plan.describe() or '(none)'}")
+    report: dict = {"plan": plan.describe() or None, "seed": args.seed}
+    if not args.json:
+        print(f"fault plan: {plan.describe() or '(none)'}")
     baseline_ms = None
     reference_counter = None
     if not plan.empty:
@@ -208,12 +234,37 @@ def _cmd_faults(args) -> int:
     try:
         result = orch.migrate_enclave(app)
     except MigrationAborted as exc:
-        print(f"outcome: ABORTED — {exc}")
-        print(f"stats:   {orch.stats.as_dict()}")
-        print(f"faults fired: {dict(tb.trace.tally('fault')) or '(none)'}")
+        report.update(
+            outcome="aborted",
+            error=str(exc),
+            stats=orch.stats.as_dict(),
+            faults_fired=dict(tb.trace.tally("fault")),
+            timeline=tb.telemetry.timeline().as_dict(),
+        )
+        if args.json:
+            print(_json_dumps(report))
+        else:
+            print(f"outcome: ABORTED — {exc}")
+            print(f"stats:   {orch.stats.as_dict()}")
+            print(f"faults fired: {dict(tb.trace.tally('fault')) or '(none)'}")
         return 1
     elapsed_ms = tb.clock.now_ms - t0
     counter = result.target_app.ecall_once(0, "incr", 0)
+    diverged = reference_counter is not None and counter != reference_counter
+    report.update(
+        outcome="diverged" if diverged else "completed",
+        attempts=result.attempts,
+        counter=counter,
+        reference_counter=reference_counter,
+        stats=result.stats.as_dict(),
+        faults_fired=dict(tb.trace.tally("fault")),
+        elapsed_ms=elapsed_ms,
+        baseline_ms=baseline_ms,
+        timeline=tb.telemetry.timeline().as_dict(),
+    )
+    if args.json:
+        print(_json_dumps(report))
+        return 2 if diverged else 0
     print(f"outcome: COMPLETED in {result.attempts} attempt(s) — counter={counter}")
     print(f"stats:   {result.stats.as_dict()}")
     print(f"faults fired: {dict(tb.trace.tally('fault')) or '(none)'}")
@@ -222,7 +273,7 @@ def _cmd_faults(args) -> int:
             f"degraded-mode overhead: {elapsed_ms:.2f} ms vs "
             f"{baseline_ms:.2f} ms fault-free (+{elapsed_ms - baseline_ms:.2f} ms)"
         )
-    if reference_counter is not None and counter != reference_counter:
+    if diverged:
         print(
             f"outcome: DIVERGED — counter {counter} under faults vs "
             f"{reference_counter} in the fault-free reference"
@@ -253,33 +304,51 @@ def _cmd_recover(args) -> int:
     orch = MigrationOrchestrator(
         tb, retry=FAULT_TOLERANT_RETRY, faults=FaultInjector(plan)
     )
-    print(f"fault plan: {plan.describe()}")
+    out: dict = {"plan": plan.describe(), "seed": args.seed}
+    if not args.json:
+        print(f"fault plan: {plan.describe()}")
     try:
         orch.migrate_enclave(app)
-        print("outcome: COMPLETED (the crash point was never reached)")
+        out.update(outcome="completed", detail="the crash point was never reached")
+        if args.json:
+            print(_json_dumps(out))
+        else:
+            print("outcome: COMPLETED (the crash point was never reached)")
         return 0
     except MigrationAborted as exc:
-        print(f"outcome: ABORTED before the crash point — {exc}")
+        out.update(outcome="aborted", error=str(exc))
+        if args.json:
+            print(_json_dumps(out))
+        else:
+            print(f"outcome: ABORTED before the crash point — {exc}")
         return 1
     except PartyCrash as exc:
-        print(f"crash:   {exc}")
+        out["crash"] = str(exc)
+        if not args.json:
+            print(f"crash:   {exc}")
 
     try:
         report = MigrationRecovery(tb, app, orchestrator=orch).recover()
     except DurabilityError as exc:
-        print(f"recovery REFUSED: {type(exc).__name__}: {exc}")
+        out.update(outcome="refused", error=f"{type(exc).__name__}: {exc}")
+        if args.json:
+            print(_json_dumps(out))
+        else:
+            print(f"recovery REFUSED: {type(exc).__name__}: {exc}")
         return 3
-    print(f"recovery: {report.outcome} — {report.detail}")
-    for name, kinds in sorted(report.journal_kinds.items()):
-        print(f"  journal {name}: {' -> '.join(kinds) if kinds else '(empty)'}")
+    if not args.json:
+        print(f"recovery: {report.outcome} — {report.detail}")
+        for name, kinds in sorted(report.journal_kinds.items()):
+            print(f"  journal {name}: {' -> '.join(kinds) if kinds else '(empty)'}")
     survivor = report.target_app
     if survivor is None and report.live_instances:
         survivor = app
     counter = survivor.ecall_once(0, "read") if survivor is not None else None
-    print(
-        f"live instances: {report.live_instances}"
-        + (f" (counter={counter})" if counter is not None else "")
-    )
+    if not args.json:
+        print(
+            f"live instances: {report.live_instances}"
+            + (f" (counter={counter})" if counter is not None else "")
+        )
 
     from repro.errors import InvariantViolation
 
@@ -288,17 +357,68 @@ def _cmd_recover(args) -> int:
     except InvariantViolation:
         pass
     violations = list(tb.monitor.violations)
+    diverged = report.live_instances not in (0, 1) or (
+        counter is not None and counter != COUNTER_START
+    )
+    out.update(
+        outcome=report.outcome,
+        detail=report.detail,
+        journal_kinds={k: list(v) for k, v in sorted(report.journal_kinds.items())},
+        live_instances=report.live_instances,
+        counter=counter,
+        violations=violations,
+        diverged=diverged,
+        invariants_clean=not violations and not diverged,
+    )
+    if args.json:
+        print(_json_dumps(out))
+        return 2 if (violations or diverged) else 0
     if violations:
         for violation in violations:
             print(f"invariant VIOLATED: {violation}")
         return 2
-    if report.live_instances not in (0, 1) or (
-        counter is not None and counter != COUNTER_START
-    ):
+    if diverged:
         print("invariant VIOLATED: recovered state diverged")
         return 2
     print("invariants: CLEAN (at most one live instance, state intact)")
     return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.telemetry.exporters import to_chrome_trace, to_jsonl
+    from repro.telemetry.runs import run_seeded_migration
+
+    tb = run_seeded_migration(seed=args.seed, vm=args.vm)
+    tel = tb.telemetry
+    if args.format == "chrome":
+        text = json.dumps(to_chrome_trace(tel), sort_keys=True)
+    elif args.format == "jsonl":
+        text = to_jsonl(tel)
+    else:  # report
+        text = _json_dumps(tel.timeline().as_dict())
+    _write_or_print(text, args.out, f"{args.format} trace")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from repro.telemetry.exporters import to_prometheus
+    from repro.telemetry.runs import run_seeded_migration
+
+    tb = run_seeded_migration(seed=args.seed, vm=args.vm)
+    metrics = tb.trace.metrics
+    if args.format == "prom":
+        text = to_prometheus(metrics)
+    else:  # json
+        text = _json_dumps(metrics.snapshot())
+    _write_or_print(text, args.out, f"{args.format} metrics snapshot")
+    failed = False
+    for name in args.require:
+        # A family with labels satisfies the gate if any series is nonzero.
+        value = metrics.value(name, default=0) or metrics.sum_across_labels(name)
+        if not value:
+            print(f"repro metrics: required metric {name!r} is absent or zero")
+            failed = True
+    return 1 if failed else 0
 
 
 def _cmd_inventory(_args) -> int:
@@ -355,6 +475,9 @@ def main(argv: list[str] | None = None) -> int:
         "--chunk-bytes", type=int, default=16 * 1024,
         help="checkpoint chunk size (0 = unchunked seed protocol)",
     )
+    faults.add_argument(
+        "--json", action="store_true", help="emit one JSON report instead of prose"
+    )
     faults.set_defaults(fn=_cmd_faults)
     recover = sub.add_parser(
         "recover", help="crash a migration party mid-protocol and recover it"
@@ -368,7 +491,40 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     recover.add_argument("--seed", type=int, default=7, help="testbed / plan seed")
+    recover.add_argument(
+        "--json", action="store_true", help="emit one JSON report instead of prose"
+    )
     recover.set_defaults(fn=_cmd_recover)
+    trace = sub.add_parser(
+        "trace", help="run one seeded migration and export its span trace"
+    )
+    trace.add_argument("--seed", default=1, help="testbed seed")
+    trace.add_argument(
+        "--vm", action="store_true", help="trace a whole-VM migration instead"
+    )
+    trace.add_argument(
+        "--format", choices=("chrome", "jsonl", "report"), default="chrome",
+        help="chrome trace_event JSON, JSONL dump, or the phase-timeline report",
+    )
+    trace.add_argument("--out", default="", help="write to a file instead of stdout")
+    trace.set_defaults(fn=_cmd_trace)
+    metrics = sub.add_parser(
+        "metrics", help="run one seeded migration and export its metrics"
+    )
+    metrics.add_argument("--seed", default=1, help="testbed seed")
+    metrics.add_argument(
+        "--vm", action="store_true", help="measure a whole-VM migration instead"
+    )
+    metrics.add_argument(
+        "--format", choices=("prom", "json"), default="prom",
+        help="Prometheus text exposition or the JSON snapshot",
+    )
+    metrics.add_argument("--out", default="", help="write to a file instead of stdout")
+    metrics.add_argument(
+        "--require", action="append", default=[], metavar="NAME",
+        help="exit non-zero unless this metric exists and is non-zero (repeatable)",
+    )
+    metrics.set_defaults(fn=_cmd_metrics)
     sub.add_parser("inventory", help="print the system inventory").set_defaults(
         fn=_cmd_inventory
     )

@@ -73,12 +73,26 @@ class Journal:
         If a crash fault is planned for this party at this record index,
         it fires *after* the commit — "crash at record boundary" always
         means the record itself survived.
+
+        Commits on a telemetry-wired store charge the modelled fsync cost
+        to the virtual clock and report ``journal.commit_latency_ns`` /
+        ``journal.appends_total`` per party — journal commits sit on the
+        migration hot path, so their cost must show up in the figures.
         """
+        start_ns = self.store.clock.now_ns if self.store.clock is not None else None
         counter = self.store.counter(self.name) + 1
         body = serde.pack({"c": counter, "k": kind, "p": payload})
         frame = _FRAME_HEADER.pack(len(body), zlib.crc32(body)) + body
         self.store.log(self.name).extend(frame)
+        if self.store.clock is not None and self.store.commit_cost_ns:
+            self.store.clock.advance(self.store.commit_cost_ns)
         self.store.counter_bump(self.name)
+        if self.store.metrics is not None:
+            self.store.metrics.counter("journal.appends_total", party=self.party).inc()
+            if start_ns is not None:
+                self.store.metrics.histogram(
+                    "journal.commit_latency_ns", party=self.party
+                ).observe(self.store.clock.now_ns - start_ns)
         if self.store.injector is not None:
             self.store.injector.record_appended(self.party, self.name, counter)
         return counter

@@ -23,6 +23,8 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.faults.injector import FaultInjector
+    from repro.sim.clock import VirtualClock
+    from repro.telemetry.metrics import MetricsRegistry
 
 
 class DurableStore:
@@ -35,6 +37,13 @@ class DurableStore:
         #: boundaries to it so crash plans can fire at record
         #: granularity (see :meth:`FaultInjector.record_appended`).
         self.injector: "FaultInjector | None" = None
+        #: Telemetry wiring (set by ``build_testbed``): journal commits
+        #: charge ``commit_cost_ns`` of modelled fsync time to ``clock``
+        #: and report per-party commit latency/count to ``metrics``.  A
+        #: bare store (unit tests) leaves all three unset and stays free.
+        self.clock: "VirtualClock | None" = None
+        self.metrics: "MetricsRegistry | None" = None
+        self.commit_cost_ns: int = 0
 
     # ------------------------------------------------------------- byte logs
     def log(self, name: str) -> bytearray:

@@ -26,6 +26,7 @@ from repro.hypervisor.kvm import Hypervisor
 from repro.hypervisor.vm import Vm
 from repro.sgx.structures import PAGE_SIZE
 from repro.sim.clock import NS_PER_MS
+from repro.telemetry.spans import maybe_span
 
 #: CPU/device state shipped during stop-and-copy.
 _VCPU_STATE_BYTES = 64 * 1024
@@ -91,9 +92,10 @@ class QemuMonitor:
         # migration"); by default the whole preparation counts.
         prep_start = self.clock.now_ns
         downtime_prep_ns: int | None = None
-        if prepare_hook is not None:
-            self.hypervisor.reset_migration_state(vm)
-            downtime_prep_ns = prepare_hook()
+        with maybe_span(self.trace, "vm.prepare", party="source", vm=vm.name):
+            if prepare_hook is not None:
+                self.hypervisor.reset_migration_state(vm)
+                downtime_prep_ns = prepare_hook()
         prep_ns = self.clock.now_ns - prep_start
         if downtime_prep_ns is None:
             downtime_prep_ns = prep_ns
@@ -104,7 +106,14 @@ class QemuMonitor:
         to_send_bytes = vm.memory.take_dirty() * PAGE_SIZE + vm.memory.extra_bytes
         while True:
             rounds += 1
-            dt = self._transfer(to_send_bytes)
+            with maybe_span(
+                self.trace,
+                "vm.precopy.round",
+                party="source",
+                round=rounds,
+                bytes=to_send_bytes,
+            ):
+                dt = self._transfer(to_send_bytes)
             transferred += to_send_bytes
             vm.memory.advance(dt)  # guest keeps dirtying during the copy
             pending = vm.memory.dirty_pages * PAGE_SIZE
@@ -115,9 +124,10 @@ class QemuMonitor:
         # Stop-and-copy: pause, ship the residual dirty set + CPU state.
         vm.pause()
         stop_start = self.clock.now_ns
-        residual = vm.memory.take_dirty() * PAGE_SIZE + _VCPU_STATE_BYTES
-        self._transfer(residual)
-        transferred += residual
+        with maybe_span(self.trace, "vm.stop_and_copy", party="source", vm=vm.name):
+            residual = vm.memory.take_dirty() * PAGE_SIZE + _VCPU_STATE_BYTES
+            self._transfer(residual)
+            transferred += residual
         stop_ns = self.clock.now_ns - stop_start
         vm.resume()  # resumes on the target host
 
@@ -125,8 +135,9 @@ class QemuMonitor:
         # for non-enclave applications, reported separately by Fig 10(a),
         # but still part of this migration's total time).
         restore_start = self.clock.now_ns
-        if restore_hook is not None:
-            restore_hook()
+        with maybe_span(self.trace, "vm.restore", party="target", vm=vm.name):
+            if restore_hook is not None:
+                restore_hook()
         restore_ns = self.clock.now_ns - restore_start
 
         total_ns = self.clock.now_ns - start_ns
@@ -139,6 +150,12 @@ class QemuMonitor:
             prep_ns=prep_ns,
             restore_ns=restore_ns,
         )
+        metrics = self.trace.metrics
+        metrics.gauge("migration.downtime_ns").set(report.downtime_ns)
+        metrics.gauge("migration.total_ns").set(report.total_ns)
+        metrics.gauge("migration.transferred_bytes").set(report.transferred_bytes)
+        metrics.gauge("migration.precopy_rounds").set(rounds)
+        metrics.counter("migration.completed_total").inc()
         self.trace.emit(
             "qemu",
             "migrated",

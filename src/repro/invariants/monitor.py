@@ -156,6 +156,7 @@ class InvariantMonitor:
         """Run a full invariant sweep; raises on the first violation."""
         if not self.enabled:
             return
+        self.tb.trace.metrics.counter("invariants.checks_total").inc()
         for lineage, apps in self._lineages.items():
             live = self._count_live(apps, lineage=lineage)
             if live > 1:
@@ -250,5 +251,6 @@ class InvariantMonitor:
 
     def _violate(self, message: str) -> None:
         self.violations.append(message)
+        self.tb.trace.metrics.counter("invariants.violations_total").inc()
         self.tb.trace.emit("invariant", "violation", message=message)
         raise InvariantViolation(message)

@@ -32,6 +32,7 @@ from repro.sdk.runtime import EnclaveRuntime
 from repro.serde import pack, unpack
 from repro.sgx.instructions import verify_report
 from repro.sgx.structures import Report
+from repro.telemetry.spans import maybe_span
 
 OBJ_ESCROW = "escrow_table"
 
@@ -202,32 +203,40 @@ class AgentService:
     def escrow_from(self, source_app: HostApplication) -> None:
         """Pre-migration: source attests the agent and escrows K_migrate."""
         tb = self.tb
-        quote, agent_pub = self.app.library.control_call(
-            agent_escrow_request, tb.target.quoting_enclave
-        )
-        self._transfer("agent-escrow-request", pack({"dh": agent_pub}))
-        self._transfer("ias-quote", quote.signed_body(), wan=True)
-        avr = tb.ias.verify_quote(quote)
-        source_pub, sealed = source_app.library.control_call(
-            control.source_escrow_to_agent, avr, agent_pub
-        )
-        delivered = self._transfer("agent-escrow", sealed)
-        self.app.library.control_call(agent_store_escrow, source_pub, delivered)
+        with maybe_span(
+            tb.trace, "agent.escrow", party="agent", image=source_app.image.name
+        ):
+            quote, agent_pub = self.app.library.control_call(
+                agent_escrow_request, tb.target.quoting_enclave
+            )
+            self._transfer("agent-escrow-request", pack({"dh": agent_pub}))
+            self._transfer("ias-quote", quote.signed_body(), wan=True)
+            avr = tb.ias.verify_quote(quote)
+            source_pub, sealed = source_app.library.control_call(
+                control.source_escrow_to_agent, avr, agent_pub
+            )
+            delivered = self._transfer("agent-escrow", sealed)
+            self.app.library.control_call(agent_store_escrow, source_pub, delivered)
+        tb.trace.metrics.counter("agent.escrows_total").inc()
 
     def release_to(self, target_app: HostApplication) -> None:
         """Post-resume: local attestation hands the key to the enclave."""
-        report, requester_pub = target_app.library.control_call(
-            control.target_request_key_from_agent, self.mrenclave
-        )
-        agent_pub, sealed = self.app.library.control_call(
-            agent_release_key, report, requester_pub
-        )
-        self.tb.trace.emit(
-            "agent", "release", key_id=target_app.image.mrenclave.hex()
-        )
-        target_app.library.control_call(
-            control.target_install_agent_key, agent_pub, sealed
-        )
+        with maybe_span(
+            self.tb.trace, "agent.release", party="agent", image=target_app.image.name
+        ):
+            report, requester_pub = target_app.library.control_call(
+                control.target_request_key_from_agent, self.mrenclave
+            )
+            agent_pub, sealed = self.app.library.control_call(
+                agent_release_key, report, requester_pub
+            )
+            self.tb.trace.emit(
+                "agent", "release", key_id=target_app.image.mrenclave.hex()
+            )
+            target_app.library.control_call(
+                control.target_install_agent_key, agent_pub, sealed
+            )
+        self.tb.trace.metrics.counter("agent.releases_total").inc()
 
     def recover(self) -> int:
         """Rebuild a crashed agent from its journal; returns entries reloaded.

@@ -74,6 +74,7 @@ from repro.sdk import control
 from repro.sdk.host import HostApplication, WorkerSpec
 from repro.serde import SerdeError, pack, unpack
 from repro.sgx.structures import Quote
+from repro.telemetry import ensure_telemetry
 
 
 @dataclass(frozen=True)
@@ -179,6 +180,8 @@ class MigrationOrchestrator:
         self.retry = retry or RetryPolicy()
         self.faults = faults
         self.stats = MigrationStats()
+        self.tel = ensure_telemetry(testbed)
+        self._run_start_ns = 0
         if faults is not None:
             faults.attach(testbed)
         # Point-of-no-return bookkeeping for the current migration.
@@ -217,6 +220,7 @@ class MigrationOrchestrator:
             if type(exc) is not ReproError and not isinstance(exc, EngineStall):
                 raise
             self.stats.step_timeouts += 1
+            self.tel.counter("migration.step_timeouts_total", step=step).inc()
             self.tb.trace.emit("migration", "step_timeout", step=step)
             raise StepTimeout(step, str(exc)) from exc
 
@@ -311,6 +315,7 @@ class MigrationOrchestrator:
             )
             if round_no + 1 < self.retry.max_transfer_rounds:
                 self.stats.chunk_retransmits += len(pending)
+                self.tel.counter("migration.chunk_retransmits_total").inc(len(pending))
                 self.tb.trace.emit(
                     "migration", "chunk_resend", n=len(pending), round=round_no + 1
                 )
@@ -341,6 +346,7 @@ class MigrationOrchestrator:
         for round_no in range(self.retry.max_transfer_rounds):
             if round_no:
                 self.stats.key_retransmits += 1
+                self.tel.counter("migration.key_retransmits_total").inc()
                 self.tb.trace.emit("migration", "key_resend", round=round_no)
                 self.tb.clock.advance(backoff)
                 backoff = self.retry.next_backoff(backoff)
@@ -383,6 +389,11 @@ class MigrationOrchestrator:
         scratch; exhausting every recovery raises
         :class:`MigrationAborted` with the invariants intact.
         """
+        self._run_start_ns = self.tb.clock.now_ns
+        with self.tel.span("migration.run", image=app.image.name):
+            return self._run_migration(app)
+
+    def _run_migration(self, app: HostApplication) -> EnclaveMigrationResult:
         self._key_released = False
         self._key_delivered = False
         self._source_crashed = False
@@ -402,6 +413,7 @@ class MigrationOrchestrator:
             self.stats.attempts = attempt
             if attempt > 1:
                 self.stats.retries += 1
+                self.tel.counter("migration.retries_total").inc()
                 self.tb.trace.emit("migration", "retry", attempt=attempt)
                 self.tb.clock.advance(backoff)
                 backoff = self.retry.next_backoff(backoff)
@@ -420,6 +432,7 @@ class MigrationOrchestrator:
             except MachineCrash as exc:
                 last_exc = exc
                 self.stats.crashes_seen += 1
+                self.tel.counter("migration.crashes_seen_total", side=exc.side).inc()
                 if exc.side == "source":
                     self._abort(
                         app,
@@ -460,42 +473,69 @@ class MigrationOrchestrator:
         bytes_before = (
             self.tb.network.bytes_transferred if bytes_baseline is None else bytes_baseline
         )
+        self.tel.counter("migration.attempts_total").inc()
         target_app: HostApplication | None = None
         try:
-            self._begin_step(app, STEP_CHECKPOINT)
-            if app.library.last_checkpoint is None:
-                self.checkpoint_enclave(app)
-            checkpoint = app.library.last_checkpoint
-            if checkpoint is None:  # pragma: no cover - guard
-                raise MigrationError("checkpoint generation failed")
-            self._wal_append(
-                wal.WAL_CHECKPOINT,
-                {
-                    "envelope": checkpoint.envelope.to_bytes(),
-                    "sequence": checkpoint.sequence,
-                },
-            )
+            with self.tel.span(
+                "migration.attempt", attempt=max(self.stats.attempts, 1)
+            ):
+                # The stop-and-copy window: source workers quiesce at the
+                # first checkpoint instruction and the application is only
+                # live again once the target resumes — for the enclave
+                # protocol the whole attempt *is* downtime.
+                with self.tel.span("migration.stop_and_copy") as stop_and_copy:
+                    with self.tel.span(
+                        f"migration.step.{STEP_CHECKPOINT}", party="source"
+                    ):
+                        self._begin_step(app, STEP_CHECKPOINT)
+                        if app.library.last_checkpoint is None:
+                            self.checkpoint_enclave(app)
+                        checkpoint = app.library.last_checkpoint
+                        if checkpoint is None:  # pragma: no cover - guard
+                            raise MigrationError("checkpoint generation failed")
+                        self._wal_append(
+                            wal.WAL_CHECKPOINT,
+                            {
+                                "envelope": checkpoint.envelope.to_bytes(),
+                                "sequence": checkpoint.sequence,
+                            },
+                        )
 
-            self._begin_step(app, STEP_BUILD_TARGET)
-            target_app = self.build_virgin_target(app)
-            self._current_target = target_app
-            self._wal_append(wal.WAL_TARGET_BUILT)
-            self._begin_step(app, STEP_ESTABLISH_CHANNEL)
-            self.establish_channel(app, target_app)
-            self._wal_append(wal.WAL_CHANNEL)
-            self._begin_step(app, STEP_TRANSFER_CHECKPOINT)
-            delivered_checkpoint = self.transfer_checkpoint(app)
-            self._wal_append(wal.WAL_TRANSFERRED, {"blob": delivered_checkpoint})
-            self._begin_step(app, STEP_HANDOFF_KEY)
-            self.handoff_key(app, target_app)
-            self._begin_step(app, STEP_RESTORE)
-            plan = self.restore(target_app, delivered_checkpoint)
-            self._wal_append(
-                wal.WAL_RESTORED, {"plan": {str(k): v for k, v in plan.items()}}
-            )
-            target_app.respawn_after_restore(plan)
-            self.tb.target_os.end_migration()
-            self._wal_append(wal.WAL_DONE)
+                    with self.tel.span(
+                        f"migration.step.{STEP_BUILD_TARGET}", party="target"
+                    ):
+                        self._begin_step(app, STEP_BUILD_TARGET)
+                        target_app = self.build_virgin_target(app)
+                        self._current_target = target_app
+                        self._wal_append(wal.WAL_TARGET_BUILT)
+                    with self.tel.span(f"migration.step.{STEP_ESTABLISH_CHANNEL}"):
+                        self._begin_step(app, STEP_ESTABLISH_CHANNEL)
+                        self.establish_channel(app, target_app)
+                        self._wal_append(wal.WAL_CHANNEL)
+                    with self.tel.span(f"migration.step.{STEP_TRANSFER_CHECKPOINT}"):
+                        self._begin_step(app, STEP_TRANSFER_CHECKPOINT)
+                        delivered_checkpoint = self.transfer_checkpoint(app)
+                        self._wal_append(
+                            wal.WAL_TRANSFERRED, {"blob": delivered_checkpoint}
+                        )
+                    with self.tel.span(f"migration.step.{STEP_HANDOFF_KEY}"):
+                        self._begin_step(app, STEP_HANDOFF_KEY)
+                        self.handoff_key(app, target_app)
+                    with self.tel.span(
+                        f"migration.step.{STEP_RESTORE}", party="target"
+                    ):
+                        self._begin_step(app, STEP_RESTORE)
+                        plan = self.restore(target_app, delivered_checkpoint)
+                        self._wal_append(
+                            wal.WAL_RESTORED,
+                            {"plan": {str(k): v for k, v in plan.items()}},
+                        )
+                    with self.tel.span("migration.step.resume", party="target"):
+                        target_app.respawn_after_restore(plan)
+                        self.tb.target_os.end_migration()
+                    self._wal_append(wal.WAL_DONE)
+                transferred = self.tb.network.bytes_transferred - bytes_before
+                self._record_figures(stop_and_copy, transferred)
             monitor = getattr(self.tb, "monitor", None)
             if monitor is not None and self._lineage is not None:
                 monitor.join_lineage(self._lineage, target_app)
@@ -503,7 +543,7 @@ class MigrationOrchestrator:
                 target_app=target_app,
                 replay_plan=plan,
                 checkpoint_bytes=checkpoint.envelope.size,
-                transferred_bytes=self.tb.network.bytes_transferred - bytes_before,
+                transferred_bytes=transferred,
                 attempts=max(self.stats.attempts, 1),
                 stats=self.stats,
             )
@@ -527,6 +567,7 @@ class MigrationOrchestrator:
                 # source is no longer needed.  Its machine dying now costs
                 # nothing but the (already spent) source instance.
                 self.stats.crashes_seen += 1
+                self.tel.counter("migration.crashes_seen_total", side=exc.side).inc()
                 self._crash_source(app)
                 return
             if exc.side == "source":
@@ -557,6 +598,7 @@ class MigrationOrchestrator:
         exactly why its journal has to be enough to finish the job.
         """
         self.stats.crashes_seen += 1
+        self.tel.counter("migration.crashes_seen_total", side=exc.party).inc()
         if exc.party == wal.PARTY_SOURCE:
             self._halt_process(app)
             self._crash_source(app)
@@ -601,8 +643,23 @@ class MigrationOrchestrator:
         except ReproError:  # pragma: no cover - cancel is best-effort
             pass
 
+    def _record_figures(self, stop_and_copy, transferred: int) -> None:
+        """Publish the attempt's headline numbers to the registry.
+
+        ``migration.downtime_ns`` is *defined* as the stop-and-copy span's
+        duration — the exporters, the timeline, and the benchmarks all
+        read the same value, so the figures can never drift apart.
+        """
+        self.tel.gauge("migration.downtime_ns").set(stop_and_copy.duration_ns)
+        self.tel.gauge("migration.total_ns").set(
+            self.tb.clock.now_ns - self._run_start_ns
+        )
+        self.tel.gauge("migration.transferred_bytes").set(transferred)
+        self.tel.counter("migration.completed_total").inc()
+
     def _record_abort(self, reason: str) -> None:
         self.stats.aborts += 1
+        self.tel.counter("migration.aborts_total").inc()
         self.tb.trace.emit("migration", "abort", reason=reason)
         self._wal_append(wal.WAL_ABORT, {"reason": reason})
 

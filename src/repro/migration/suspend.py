@@ -17,6 +17,7 @@ from repro.migration.snapshot import Snapshot, SnapshotManager
 from repro.migration.testbed import Testbed
 from repro.sdk.host import HostApplication
 from repro.sgx.structures import PAGE_SIZE
+from repro.telemetry.spans import maybe_span
 
 
 @dataclass
@@ -53,13 +54,15 @@ class VmSuspendManager:
         vm = self.tb.source_vm
         if vm.paused:
             raise MigrationError("VM is already suspended")
-        image = VmImage(vm_name=vm.name, ram_bytes=vm.memory.used_pages * PAGE_SIZE)
-        for app in self.apps:
-            image.snapshots.append(self.snapshots.snapshot(app, reason=reason))
-            image.app_templates.append(app)
-        # Write RAM to storage (modelled at the migration link's rate).
-        self.tb.clock.advance(self.tb.costs.net_transfer_ns(image.ram_bytes))
-        vm.pause()
+        with maybe_span(self.tb.trace, "vm.suspend", party="source", vm=vm.name):
+            image = VmImage(vm_name=vm.name, ram_bytes=vm.memory.used_pages * PAGE_SIZE)
+            for app in self.apps:
+                image.snapshots.append(self.snapshots.snapshot(app, reason=reason))
+                image.app_templates.append(app)
+            # Write RAM to storage (modelled at the migration link's rate).
+            self.tb.clock.advance(self.tb.costs.net_transfer_ns(image.ram_bytes))
+            vm.pause()
+        self.tb.trace.metrics.counter("vm.suspends_total").inc()
         self.tb.trace.emit(
             "qemu", "suspended", vm=vm.name, image_mb=image.size_bytes // (1024 * 1024)
         )
@@ -73,12 +76,18 @@ class VmSuspendManager:
         Thus, all the checkpoint/resume operations are logged" (§V-C).
         """
         machine = self.tb.target if on_target else self.tb.source
-        # Read RAM back from storage.
-        self.tb.clock.advance(self.tb.costs.net_transfer_ns(image.ram_bytes))
-        resumed = []
-        for snapshot, template in zip(image.snapshots, image.app_templates):
-            resumed.append(
-                self.snapshots.resume(snapshot, template, reason=reason, on_target=on_target)
-            )
+        with maybe_span(
+            self.tb.trace, "vm.resume", party=machine.name, vm=image.vm_name
+        ):
+            # Read RAM back from storage.
+            self.tb.clock.advance(self.tb.costs.net_transfer_ns(image.ram_bytes))
+            resumed = []
+            for snapshot, template in zip(image.snapshots, image.app_templates):
+                resumed.append(
+                    self.snapshots.resume(
+                        snapshot, template, reason=reason, on_target=on_target
+                    )
+                )
+        self.tb.trace.metrics.counter("vm.resumes_total").inc()
         self.tb.trace.emit("qemu", "resumed", vm=image.vm_name, machine=machine.name)
         return resumed

@@ -25,6 +25,7 @@ from repro.sim.clock import VirtualClock
 from repro.sim.costs import CostModel, DEFAULT_COSTS
 from repro.sim.rng import DeterministicRng
 from repro.sim.trace import EventTrace
+from repro.telemetry import Telemetry
 
 
 @dataclass
@@ -49,6 +50,9 @@ class Testbed:
     durable: DurableStore = field(default_factory=DurableStore)
     #: Live safety-invariant monitor; attached by :func:`build_testbed`.
     monitor: InvariantMonitor | None = None
+    #: Span tracer + metrics registry; attached by :func:`build_testbed`
+    #: (or lazily by :func:`repro.telemetry.ensure_telemetry`).
+    telemetry: Telemetry | None = None
 
 
 def build_testbed(
@@ -70,6 +74,7 @@ def build_testbed(
     """
     clock = VirtualClock()
     trace = EventTrace(clock)
+    telemetry = Telemetry(clock, trace)
     rng = DeterministicRng(seed)
     network = Network(clock, costs, trace)
 
@@ -119,11 +124,17 @@ def build_testbed(
         target_os=target_os,
         builder=builder,
         owner=owner,
+        telemetry=telemetry,
     )
     # Durable journals + the live invariant monitor are part of the
     # standard setup: every enclave library built on these machines
     # journals its state transitions, and the monitor watches every run.
     source.durable = target.durable = testbed.durable
+    # Journal commits charge their modelled fsync latency to the shared
+    # clock and report it to the shared registry.
+    testbed.durable.clock = clock
+    testbed.durable.metrics = trace.metrics
+    testbed.durable.commit_cost_ns = costs.journal_commit_ns
     testbed.monitor = InvariantMonitor(testbed)
     testbed.monitor.attach()
     return testbed

@@ -76,6 +76,7 @@ class Network:
         self.bytes_transferred += n
         self.log.append(TransferRecord(label, n, payload))
         self.trace.emit("net", "transfer", label=label, bytes=n)
+        self._meter(label, n, wan)
         delivered = payload
         for tap in self._taps:
             replacement = tap(label, delivered)
@@ -92,6 +93,14 @@ class Network:
         self.bytes_transferred += n
         self.log.append(TransferRecord(label, n, payload))
         self.trace.emit("net", "transfer", label=label, bytes=n, duplicate=True)
+        self._meter(label, n, wan=False)
+
+    def _meter(self, label: str, n_bytes: int, wan: bool) -> None:
+        metrics = self.trace.metrics
+        metrics.counter("wire.bytes", channel=label).inc(n_bytes)
+        metrics.counter("wire.messages_total", channel=label).inc()
+        if wan:
+            metrics.counter("wire.wan_round_trips_total").inc()
 
     def captured(self, label: str) -> list[bytes]:
         """All payloads ever sent under ``label`` (the adversary's log)."""

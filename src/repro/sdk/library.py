@@ -22,6 +22,7 @@ from repro.sdk.image import FLAG_BUSY, EnclaveImage
 from repro.sdk.program import AtomicEntry, EnclaveProgram, ResumableEntry, lookup_program
 from repro.sdk.runtime import EnclaveRuntime
 from repro.sgx import instructions as isa
+from repro.telemetry.spans import maybe_span
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.guestos.kernel import GuestOs
@@ -135,36 +136,55 @@ class SgxLibrary:
         """Engine body: run two-phase checkpointing on the control TCS."""
         template = self.image.control_tcs
         cpu = self.cpu
-        self.machine.trace.emit("ckpt", "start", enclave=self.enclave_id)
-        with cpu.collect_charges() as charged:
-            session = isa.eenter(cpu, self.hw(), template.vaddr, aep=self)
-        yield charged[0]
-        rt = self._runtime(session)
-        rt.control_entry_stub(template.index)
-        try:
-            result = yield from control.generate_checkpoint(
-                rt,
-                self.machine.costs,
-                algorithm=self.checkpoint_algorithm,
-                use_installed_key=self.checkpoint_use_installed_key,
-                sgx_v2=self.sgx_v2,
-            )
-        except BaseException:
-            # Leave the enclave cleanly so the TCS does not stay busy.
+        trace = self.machine.trace
+        trace.emit("ckpt", "start", enclave=self.enclave_id)
+        # One span per enclave, on its own track: a VM migration runs
+        # several of these engine bodies interleaved, so per-enclave
+        # tracks keep each span well-nested regardless of scheduling.
+        with maybe_span(
+            trace,
+            "checkpoint.two_phase",
+            party=self.machine.name,
+            track=self.enclave_id,
+            enclave=self.enclave_id,
+            image=self.image.name,
+        ) as ckpt_span:
+            start_ns = self.machine.clock.now_ns
+            with cpu.collect_charges() as charged:
+                session = isa.eenter(cpu, self.hw(), template.vaddr, aep=self)
+            yield charged[0]
+            rt = self._runtime(session)
+            rt.control_entry_stub(template.index)
+            try:
+                result = yield from control.generate_checkpoint(
+                    rt,
+                    self.machine.costs,
+                    algorithm=self.checkpoint_algorithm,
+                    use_installed_key=self.checkpoint_use_installed_key,
+                    sgx_v2=self.sgx_v2,
+                )
+            except BaseException:
+                # Leave the enclave cleanly so the TCS does not stay busy.
+                rt.exit_stub(template.index)
+                isa.eexit(session)
+                raise
             rt.exit_stub(template.index)
-            isa.eexit(session)
-            raise
-        rt.exit_stub(template.index)
-        with cpu.collect_charges() as charged:
-            isa.eexit(session)
-        yield charged[0]
-        # Hand the sealed checkpoint to the host: it lands in normal RAM
-        # (where pre-copy will pick it up) and the OS learns we are ready.
-        self.last_checkpoint = result
-        self.process.shared_memory["checkpoint"] = result.envelope
-        self.guest_os.vm.memory.park_extra_bytes(result.envelope.size)
-        self.guest_os.mark_enclave_ready(self.enclave_id)
-        self.machine.trace.emit(
+            with cpu.collect_charges() as charged:
+                isa.eexit(session)
+            yield charged[0]
+            # Hand the sealed checkpoint to the host: it lands in normal RAM
+            # (where pre-copy will pick it up) and the OS learns we are ready.
+            self.last_checkpoint = result
+            self.process.shared_memory["checkpoint"] = result.envelope
+            self.guest_os.vm.memory.park_extra_bytes(result.envelope.size)
+            self.guest_os.mark_enclave_ready(self.enclave_id)
+            metrics = trace.metrics
+            metrics.histogram(
+                "checkpoint.duration_ns", party=self.machine.name
+            ).observe(self.machine.clock.now_ns - start_ns)
+            metrics.counter("checkpoint.bytes").inc(result.envelope.size)
+            metrics.counter("checkpoint.generated_total").inc()
+        trace.emit(
             "ckpt", "done", enclave=self.enclave_id, bytes=result.memory_bytes
         )
         return result

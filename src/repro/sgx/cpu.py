@@ -101,6 +101,21 @@ class SgxCpu:
         else:
             self.clock.advance(cost_ns)
 
+    def meter(self, op: str, cost_ns: int, eid: int | None = None) -> None:
+        """Charge one dispatched leaf instruction *and* meter it.
+
+        The migration hot path is dominated by EWB/ELDU/ECREATE traffic;
+        counting and timing them per CPU (and, where it matters, per
+        enclave) is what lets the dump/restore benchmarks attribute cost
+        without replaying the event stream.
+        """
+        self.charge(cost_ns)
+        metrics = self.trace.metrics
+        metrics.counter("sgx.instructions_total", op=op, cpu=self.name).inc()
+        metrics.histogram("sgx.instruction_ns", op=op, cpu=self.name).observe(cost_ns)
+        if eid is not None:
+            metrics.counter("sgx.enclave_ops_total", op=op, cpu=self.name, eid=eid).inc()
+
     @contextmanager
     def collect_charges(self):
         """Accumulate instruction charges instead of advancing the clock.

@@ -42,8 +42,8 @@ REPORT_DATA_LEN = 64
 
 def ecreate(cpu: SgxCpu, base: int, size: int) -> EnclaveHw:
     """Create an enclave: allocate its SECS page and open the measurement."""
-    cpu.charge(cpu.costs.ecreate_ns)
     eid = cpu.new_eid()
+    cpu.meter("ecreate", cpu.costs.ecreate_ns, eid=eid)
     secs_page = cpu.epc.alloc(eid, vaddr=0, page_type=PageType.SECS, permissions=Permissions.NONE)
     enclave = EnclaveHw(eid, base, size, cpu.epc, secs_page.index)
     secs_page.hw_object = enclave.secs
@@ -219,7 +219,7 @@ def _va_slots(cpu: SgxCpu, va_index: int) -> list[int]:
 
 def ewb(cpu: SgxCpu, enclave: EnclaveHw, vaddr: int, va_index: int, slot: int) -> EvictedPage:
     """Evict one page: seal it to normal memory and record its version."""
-    cpu.charge(cpu.costs.ewb_page_ns)
+    cpu.meter("ewb", cpu.costs.ewb_page_ns, eid=enclave.eid)
     slots = _va_slots(cpu, va_index)
     if slots[slot] != 0:
         raise SgxInstructionFault(f"VA slot {slot} is already in use")
@@ -258,8 +258,9 @@ def ewb(cpu: SgxCpu, enclave: EnclaveHw, vaddr: int, va_index: int, slot: int) -
 
 
 def eldb(cpu: SgxCpu, enclave: EnclaveHw, evicted: EvictedPage, va_index: int, slot: int) -> None:
-    """Load an evicted page back into the EPC after MAC/version checks."""
-    cpu.charge(cpu.costs.eldb_page_ns)
+    """Load an evicted page back into the EPC after MAC/version checks (ELDU
+    differs only in blocked-state bookkeeping we do not model)."""
+    cpu.meter("eldu", cpu.costs.eldb_page_ns, eid=enclave.eid)
     slots = _va_slots(cpu, va_index)
     expected_version = slots[slot]
     if expected_version == 0:

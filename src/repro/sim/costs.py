@@ -75,6 +75,12 @@ class CostModel:
     wan_latency_ns: int = 18_000_000  # one-way to owner / IAS
     ias_processing_ns: int = 5_000_000
 
+    # -- durability ------------------------------------------------------------
+    # One write-ahead journal commit: append + fsync on commodity SSD
+    # plus the monotonic-counter bump.  Charged on every party's state
+    # transition, so it sits on the migration hot path.
+    journal_commit_ns: int = 15_000
+
     # -- misc ------------------------------------------------------------------
     page_size: int = 4096
 

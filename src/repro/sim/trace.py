@@ -3,15 +3,26 @@
 The experiments assert on traces ("the source enclave never resumed after
 self-destroy", "K_migrate was transferred exactly once") and the benchmark
 harness reads metrics ("bytes on the wire", "downtime window") out of them.
+
+Counters are backed by a :class:`~repro.telemetry.metrics.MetricsRegistry`
+(the trace's ``metrics`` attribute), which the telemetry layer shares for
+its own typed instruments; the old ``count``/``counter`` API is preserved
+on top of it.  When a :class:`~repro.telemetry.spans.Tracer` is attached
+(``trace.tracer``, wired by :class:`repro.telemetry.Telemetry`),
+instrumented components also emit spans through it.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
 from repro.sim.clock import VirtualClock
+from repro.telemetry.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry.spans import Tracer
 
 
 @dataclass(frozen=True)
@@ -27,14 +38,52 @@ class Event:
         return f"[{self.t_ns / 1000:.1f}us] {self.category}.{self.name} {self.payload}"
 
 
+class EventsView(Sequence):
+    """A read-only, live view of the trace's event list.
+
+    Replaces the full-list copy the old ``events`` property made on every
+    access; it indexes and iterates the underlying storage directly and
+    compares equal to plain lists so existing assertions keep working.
+    """
+
+    __slots__ = ("_events",)
+
+    def __init__(self, events: list[Event]) -> None:
+        self._events = events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __getitem__(self, index):
+        return self._events[index]
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, EventsView):
+            return self._events == other._events
+        if isinstance(other, (list, tuple)):
+            return list(self._events) == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<EventsView of {len(self._events)} events>"
+
+
 class EventTrace:
     """An append-only trace of events plus named numeric counters."""
 
-    def __init__(self, clock: VirtualClock) -> None:
+    def __init__(self, clock: VirtualClock, metrics: MetricsRegistry | None = None) -> None:
         self._clock = clock
         self._events: list[Event] = []
-        self._counters: Counter[str] = Counter()
         self._observers: list[Any] = []
+        #: Typed metrics registry backing :meth:`count`; the telemetry
+        #: layer shares this registry for spans-adjacent instruments.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Span tracer, attached by :class:`repro.telemetry.Telemetry`.
+        #: Components treat it as optional so bare traces stay cheap.
+        self.tracer: "Tracer | None" = None
 
     # ---------------------------------------------------------------- record
     def emit(self, category: str, name: str, /, **payload: Any) -> Event:
@@ -54,15 +103,15 @@ class EventTrace:
 
     def count(self, counter: str, delta: int = 1) -> None:
         """Add ``delta`` to the named counter."""
-        self._counters[counter] += delta
+        self.metrics.counter(counter).inc(delta)
 
     # ---------------------------------------------------------------- query
     @property
-    def events(self) -> list[Event]:
-        return list(self._events)
+    def events(self) -> EventsView:
+        return EventsView(self._events)
 
     def counter(self, name: str) -> int:
-        return self._counters[name]
+        return int(self.metrics.value(name, default=0))
 
     def select(self, category: str | None = None, name: str | None = None) -> Iterator[Event]:
         """Iterate events matching the given category and/or name."""
@@ -91,5 +140,12 @@ class EventTrace:
         return Counter(event.name for event in self.select(category))
 
     def clear(self) -> None:
+        """Drop stored events and zero every metric.
+
+        Resetting the registry matters for observers that read counters
+        mid-run: a cleared trace with stale counters would silently report
+        the previous run's numbers."""
         self._events.clear()
-        self._counters.clear()
+        self.metrics.reset()
+        if self.tracer is not None:
+            self.tracer.clear()

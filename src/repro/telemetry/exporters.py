@@ -1,0 +1,213 @@
+"""Telemetry exporters: JSONL, Chrome trace_event, Prometheus text.
+
+* :func:`to_jsonl` — every event and span as one JSON object per line;
+  the machine-readable dump CI diffs across runs.
+* :func:`to_chrome_trace` — the Chrome ``trace_event`` JSON format
+  (object form, ``{"traceEvents": [...]}``) loadable in Perfetto or
+  chrome://tracing; parties map to processes, tracks to threads.
+* :func:`to_prometheus` — a Prometheus text-exposition snapshot of the
+  metrics registry (dots become underscores; labels are preserved).
+
+All exporters are pure functions of the telemetry state: they never
+advance the clock or mutate anything, so exporting mid-run is safe.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any
+
+from repro.telemetry.metrics import (
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    MetricsRegistry,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry import Telemetry
+
+
+def json_safe(value: Any) -> Any:
+    """Coerce payload values into the JSON universe (bytes become hex)."""
+    if isinstance(value, (bytes, bytearray)):
+        return value.hex()
+    if isinstance(value, dict):
+        return {str(k): json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+_json_safe = json_safe
+
+
+# ---------------------------------------------------------------------- jsonl
+
+def to_jsonl(telemetry: "Telemetry") -> str:
+    """Events and spans, one JSON object per line, in causal order."""
+    lines = []
+    for event in telemetry.trace.events:
+        lines.append(
+            json.dumps(
+                {
+                    "type": "event",
+                    "t_ns": event.t_ns,
+                    "category": event.category,
+                    "name": event.name,
+                    "payload": _json_safe(event.payload),
+                },
+                sort_keys=True,
+            )
+        )
+    for span in telemetry.tracer.spans:
+        lines.append(
+            json.dumps(
+                {
+                    "type": "span",
+                    "span_id": span.span_id,
+                    "name": span.name,
+                    "party": span.party,
+                    "track": span.track,
+                    "start_ns": span.start_ns,
+                    "end_ns": span.end_ns,
+                    "parent_id": span.parent_id,
+                    "status": span.status,
+                    "attrs": _json_safe(span.attrs),
+                },
+                sort_keys=True,
+            )
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# --------------------------------------------------------------- chrome trace
+
+def to_chrome_trace(telemetry: "Telemetry") -> dict[str, Any]:
+    """The run as a Chrome ``trace_event`` object (ts/dur in microseconds).
+
+    Finished spans become complete ("X") events; unfinished spans and
+    plain trace events become instants ("i") so nothing is silently
+    dropped.  Virtual time maps one-to-one onto trace time.
+    """
+    pids: dict[str, int] = {}
+    tids: dict[tuple[str, str], int] = {}
+    trace_events: list[dict[str, Any]] = []
+
+    def pid_for(party: str) -> int:
+        if party not in pids:
+            pids[party] = len(pids) + 1
+            trace_events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pids[party],
+                    "args": {"name": party},
+                }
+            )
+        return pids[party]
+
+    def tid_for(party: str, track: str) -> int:
+        key = (party, track)
+        if key not in tids:
+            tids[key] = len([k for k in tids if k[0] == party]) + 1
+            trace_events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid_for(party),
+                    "tid": tids[key],
+                    "args": {"name": f"{party}/{track}" if track else party},
+                }
+            )
+        return tids[key]
+
+    for span in telemetry.tracer.spans:
+        pid = pid_for(span.party)
+        tid = tid_for(span.party, span.track)
+        if span.finished:
+            trace_events.append(
+                {
+                    "ph": "X",
+                    "name": span.name,
+                    "cat": "span",
+                    "ts": span.start_ns / 1_000,
+                    "dur": span.duration_ns / 1_000,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": _json_safe({"status": span.status, **span.attrs}),
+                }
+            )
+        else:
+            trace_events.append(
+                {
+                    "ph": "i",
+                    "name": f"{span.name} (unfinished)",
+                    "cat": "span",
+                    "ts": span.start_ns / 1_000,
+                    "pid": pid,
+                    "tid": tid,
+                    "s": "t",
+                    "args": _json_safe(span.attrs),
+                }
+            )
+    events_pid = pid_for("events")
+    events_tid = tid_for("events", "")
+    for event in telemetry.trace.events:
+        if event.category == "span":
+            continue  # spans are already rendered as X events above
+        trace_events.append(
+            {
+                "ph": "i",
+                "name": f"{event.category}.{event.name}",
+                "cat": event.category,
+                "ts": event.t_ns / 1_000,
+                "pid": events_pid,
+                "tid": events_tid,
+                "s": "t",
+                "args": _json_safe(event.payload),
+            }
+        )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+# ----------------------------------------------------------------- prometheus
+
+def _prom_name(name: str) -> str:
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _prom_labels(labels: dict[str, Any], extra: dict[str, Any] | None = None) -> str:
+    merged = {**labels, **(extra or {})}
+    if not merged:
+        return ""
+    inner = ",".join(f'{_prom_name(str(k))}="{merged[k]}"' for k in sorted(merged))
+    return "{" + inner + "}"
+
+
+def to_prometheus(metrics: MetricsRegistry) -> str:
+    """Prometheus text exposition format of the registry's current state."""
+    lines: list[str] = []
+    seen_types: set[str] = set()
+    for instrument in sorted(metrics, key=lambda i: (i.name, sorted(i.labels.items()))):
+        name = _prom_name(instrument.name)
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} {instrument.kind}")
+        if isinstance(instrument, (CounterMetric, GaugeMetric)):
+            lines.append(f"{name}{_prom_labels(instrument.labels)} {instrument.value}")
+        elif isinstance(instrument, HistogramMetric):
+            running = 0
+            for bound, count in zip(instrument.buckets, instrument.bucket_counts):
+                running += count
+                lines.append(
+                    f"{name}_bucket{_prom_labels(instrument.labels, {'le': bound})} {running}"
+                )
+            lines.append(
+                f"{name}_bucket{_prom_labels(instrument.labels, {'le': '+Inf'})} {instrument.count}"
+            )
+            lines.append(f"{name}_sum{_prom_labels(instrument.labels)} {instrument.sum}")
+            lines.append(f"{name}_count{_prom_labels(instrument.labels)} {instrument.count}")
+    return "\n".join(lines) + ("\n" if lines else "")

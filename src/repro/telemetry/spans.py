@@ -1,0 +1,187 @@
+"""Spans: attributed time intervals on the virtual clock.
+
+A :class:`Span` is one named interval with a party ("source", "target",
+"orchestrator", "agent"), an optional track within that party (used when
+several enclaves on one party run concurrently — e.g. the per-enclave
+two-phase checkpoint threads a VM migration interleaves), parent links,
+and free-form attributes.  The :class:`Tracer` keeps one stack per
+(party, track) so spans are *well-nested per track by construction*:
+``end`` refuses to close a span that is not the innermost open one on its
+track.
+
+Spans mirror themselves into the :class:`~repro.sim.trace.EventTrace` as
+``("span", "start")`` / ``("span", "end")`` events, so live observers
+(the invariant monitor, tests) see them in the causal event stream, and
+the timeline reconstructor can fold spans and plain events together.
+"""
+
+from __future__ import annotations
+
+import itertools
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.clock import VirtualClock
+    from repro.sim.trace import EventTrace
+
+
+@dataclass
+class Span:
+    """One attributed interval of virtual time."""
+
+    span_id: int
+    name: str
+    party: str
+    track: str
+    start_ns: int
+    end_ns: int | None = None
+    parent_id: int | None = None
+    status: str = "ok"
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def finished(self) -> bool:
+        return self.end_ns is not None
+
+    @property
+    def duration_ns(self) -> int:
+        if self.end_ns is None:
+            raise ValueError(f"span {self.name!r} (#{self.span_id}) is still open")
+        return self.end_ns - self.start_ns
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        end = f"{self.end_ns}" if self.end_ns is not None else "…"
+        return f"<Span #{self.span_id} {self.name} [{self.party}/{self.track}] {self.start_ns}-{end}>"
+
+
+class SpanError(RuntimeError):
+    """A span was closed out of nesting order, or twice."""
+
+
+@contextmanager
+def maybe_span(trace, name: str, party: str = "orchestrator", track: str = "", **attrs: Any):
+    """Span against ``trace.tracer`` if one is attached, else a no-op.
+
+    Deep components (SGX library, QEMU monitor) hold a trace but not a
+    testbed; this lets them emit spans when the telemetry layer is wired
+    without forcing bare-trace unit tests to carry one.
+    """
+    tracer = getattr(trace, "tracer", None)
+    if tracer is None:
+        yield None
+        return
+    with tracer.span(name, party, track, **attrs) as span:
+        yield span
+
+
+class Tracer:
+    """Creates and closes spans against one virtual clock."""
+
+    def __init__(self, clock: "VirtualClock", trace: "EventTrace | None" = None) -> None:
+        self.clock = clock
+        self.trace = trace
+        self.spans: list[Span] = []  # every span ever started, in start order
+        self._ids = itertools.count(1)
+        self._stacks: dict[tuple[str, str], list[Span]] = {}
+
+    # ------------------------------------------------------------ start / end
+    def start(self, name: str, party: str = "orchestrator", track: str = "", **attrs: Any) -> Span:
+        """Open a span now; its parent is the innermost open span on the
+        same (party, track)."""
+        stack = self._stacks.setdefault((party, str(track)), [])
+        span = Span(
+            span_id=next(self._ids),
+            name=name,
+            party=party,
+            track=str(track),
+            start_ns=self.clock.now_ns,
+            parent_id=stack[-1].span_id if stack else None,
+            attrs=dict(attrs),
+        )
+        stack.append(span)
+        self.spans.append(span)
+        if self.trace is not None:
+            self.trace.emit(
+                "span", "start", span=span.span_id, span_name=name, party=party
+            )
+        return span
+
+    def end(self, span: Span, status: str = "ok", **attrs: Any) -> Span:
+        """Close ``span`` now.  It must be the innermost open span on its
+        track — out-of-order closes are a bug in the instrumentation, not
+        a recoverable condition."""
+        if span.finished:
+            raise SpanError(f"span {span.name!r} (#{span.span_id}) ended twice")
+        stack = self._stacks.get((span.party, span.track), [])
+        if not stack or stack[-1] is not span:
+            open_name = stack[-1].name if stack else "<none>"
+            raise SpanError(
+                f"span {span.name!r} closed out of order on track "
+                f"{span.party}/{span.track or '-'} (innermost open: {open_name})"
+            )
+        stack.pop()
+        span.end_ns = self.clock.now_ns
+        span.status = status
+        span.attrs.update(attrs)
+        if self.trace is not None:
+            self.trace.emit(
+                "span",
+                "end",
+                span=span.span_id,
+                span_name=span.name,
+                party=span.party,
+                duration_ns=span.duration_ns,
+                status=status,
+            )
+        return span
+
+    @contextmanager
+    def span(self, name: str, party: str = "orchestrator", track: str = "", **attrs: Any):
+        """Context manager form; an escaping exception marks status="error"."""
+        span = self.start(name, party, track, **attrs)
+        try:
+            yield span
+        except BaseException as exc:
+            self.end(span, status="error", error=type(exc).__name__)
+            raise
+        else:
+            self.end(span)
+
+    # ---------------------------------------------------------------- queries
+    def current(self, party: str = "orchestrator", track: str = "") -> Span | None:
+        stack = self._stacks.get((party, str(track)))
+        return stack[-1] if stack else None
+
+    def finished(self) -> list[Span]:
+        return [s for s in self.spans if s.finished]
+
+    def open_spans(self) -> list[Span]:
+        return [s for s in self.spans if not s.finished]
+
+    def find(self, name: str, party: str | None = None) -> list[Span]:
+        return [
+            s
+            for s in self.spans
+            if s.name == name and (party is None or s.party == party) and s.finished
+        ]
+
+    def first(self, name: str, party: str | None = None) -> Span | None:
+        found = self.find(name, party)
+        return found[0] if found else None
+
+    def last(self, name: str, party: str | None = None) -> Span | None:
+        found = self.find(name, party)
+        return found[-1] if found else None
+
+    def children_of(self, span: Span) -> list[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def roots(self) -> Iterator[Span]:
+        return (s for s in self.spans if s.parent_id is None)
+
+    def clear(self) -> None:
+        """Drop recorded spans (open spans on the stacks survive)."""
+        open_ids = {s.span_id for stack in self._stacks.values() for s in stack}
+        self.spans = [s for s in self.spans if s.span_id in open_ids]

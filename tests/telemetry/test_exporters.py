@@ -1,0 +1,107 @@
+"""Exporters: JSONL, Chrome trace_event, Prometheus text."""
+
+import json
+
+import pytest
+
+from repro.telemetry.exporters import to_chrome_trace, to_jsonl, to_prometheus
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.runs import run_seeded_migration
+
+
+@pytest.fixture(scope="module")
+def tb():
+    return run_seeded_migration(seed=5)
+
+
+class TestJsonl:
+    def test_every_line_parses(self, tb):
+        lines = to_jsonl(tb.telemetry).splitlines()
+        assert lines
+        rows = [json.loads(line) for line in lines]
+        assert {r["type"] for r in rows} == {"event", "span"}
+
+    def test_bytes_payloads_become_hex(self, tb):
+        # Nothing in the dump may be un-JSON-able; bytes land as hex str.
+        for row in map(json.loads, to_jsonl(tb.telemetry).splitlines()):
+            json.dumps(row)  # would raise on any non-JSON value
+
+
+class TestChromeTrace:
+    def test_shape_and_metadata(self, tb):
+        doc = to_chrome_trace(tb.telemetry)
+        json.dumps(doc)  # must be valid JSON end to end
+        events = doc["traceEvents"]
+        assert {e["ph"] for e in events} <= {"X", "i", "M"}
+        procs = [e for e in events if e["ph"] == "M" and e["name"] == "process_name"]
+        assert {p["args"]["name"] for p in procs} >= {"orchestrator", "source", "target"}
+
+    def test_stop_and_copy_duration_matches_downtime_metric(self, tb):
+        doc = to_chrome_trace(tb.telemetry)
+        (sc,) = [
+            e
+            for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "migration.stop_and_copy"
+        ]
+        downtime_ns = tb.trace.metrics.value("migration.downtime_ns")
+        assert sc["dur"] * 1_000 == downtime_ns  # ts/dur are microseconds
+
+    def test_x_events_cover_every_finished_span(self, tb):
+        doc = to_chrome_trace(tb.telemetry)
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == len(tb.telemetry.tracer.finished())
+
+
+class TestPrometheus:
+    def test_seeded_run_exposition(self, tb):
+        text = to_prometheus(tb.trace.metrics)
+        assert "# TYPE migration_downtime_ns gauge" in text
+        assert "# TYPE sgx_instructions_total counter" in text
+        downtime = tb.trace.metrics.value("migration.downtime_ns")
+        assert f"migration_downtime_ns {downtime}" in text
+
+    def test_histogram_rendering(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat.ns", buckets=(10, 100), party="source")
+        for v in (5, 50, 500):
+            h.observe(v)
+        text = to_prometheus(reg)
+        assert '# TYPE lat_ns histogram' in text
+        assert 'lat_ns_bucket{le="10",party="source"} 1' in text
+        assert 'lat_ns_bucket{le="100",party="source"} 2' in text
+        assert 'lat_ns_bucket{le="+Inf",party="source"} 3' in text
+        assert 'lat_ns_sum{party="source"} 555' in text
+        assert 'lat_ns_count{party="source"} 3' in text
+
+    def test_one_type_line_per_family(self):
+        reg = MetricsRegistry()
+        reg.counter("wire.bytes", channel="a").inc()
+        reg.counter("wire.bytes", channel="b").inc()
+        text = to_prometheus(reg)
+        assert text.count("# TYPE wire_bytes counter") == 1
+
+
+class TestDeterminism:
+    @staticmethod
+    def _reset_global_counters():
+        """Pin process-global id counters so two runs in one pytest
+        process draw identical rdrand fork labels (same trick as the
+        fault-matrix regression test)."""
+        import itertools
+
+        from repro.guestos.process import GuestProcess
+        from repro.sgx.cpu import SgxCpu
+
+        GuestProcess._pids = itertools.count(100)
+        SgxCpu._ids = itertools.count(1)
+
+    def test_same_seed_byte_identical_artifacts(self):
+        self._reset_global_counters()
+        a = run_seeded_migration(seed=11)
+        self._reset_global_counters()
+        b = run_seeded_migration(seed=11)
+        assert to_jsonl(a.telemetry) == to_jsonl(b.telemetry)
+        assert json.dumps(to_chrome_trace(a.telemetry), sort_keys=True) == json.dumps(
+            to_chrome_trace(b.telemetry), sort_keys=True
+        )
+        assert to_prometheus(a.trace.metrics) == to_prometheus(b.trace.metrics)

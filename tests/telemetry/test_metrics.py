@@ -1,0 +1,125 @@
+"""The typed metrics registry."""
+
+import pytest
+
+from repro.telemetry.metrics import (
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    MetricsRegistry,
+    metric_key,
+)
+
+
+class TestMetricKey:
+    def test_bare_name(self):
+        assert metric_key("wire.bytes", {}) == "wire.bytes"
+
+    def test_labels_sorted(self):
+        key = metric_key("wire.bytes", {"channel": "kmigrate", "a": 1})
+        assert key == "wire.bytes{a=1,channel=kmigrate}"
+
+    def test_distinct_labels_are_distinct_series(self):
+        reg = MetricsRegistry()
+        reg.counter("wire.bytes", channel="a").inc(1)
+        reg.counter("wire.bytes", channel="b").inc(2)
+        assert reg.value("wire.bytes", channel="a") == 1
+        assert reg.value("wire.bytes", channel="b") == 2
+        assert reg.sum_across_labels("wire.bytes") == 3
+
+
+class TestCounter:
+    def test_inc(self):
+        reg = MetricsRegistry()
+        c = reg.counter("migration.retries_total")
+        c.inc()
+        c.inc(4)
+        assert reg.value("migration.retries_total") == 5
+
+    def test_counter_rejects_negative_delta(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_same_name_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("migration.downtime_ns")
+        g.set(100)
+        g.inc(10)
+        g.dec(5)
+        assert reg.value("migration.downtime_ns") == 105
+
+
+class TestHistogram:
+    def test_observe_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(10, 100))
+        for v in (5, 50, 500):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == 555
+        assert h.mean == 185
+        snap = h.snapshot_value()
+        assert snap["buckets"] == {10: 1, 100: 2}  # cumulative, +Inf implied
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("lat", buckets=())
+
+    def test_value_returns_count(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat").observe(7)
+        assert reg.value("lat") == 1
+
+
+class TestTyping:
+    def test_rebinding_kind_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+        with pytest.raises(TypeError):
+            reg.histogram("x")
+
+    def test_kinds(self):
+        reg = MetricsRegistry()
+        assert isinstance(reg.counter("a"), CounterMetric)
+        assert isinstance(reg.gauge("b"), GaugeMetric)
+        assert isinstance(reg.histogram("c"), HistogramMetric)
+
+
+class TestRegistry:
+    def test_value_default_for_untouched(self):
+        assert MetricsRegistry().value("nope", default=42) == 42
+
+    def test_snapshot_is_sorted_and_json_shaped(self):
+        reg = MetricsRegistry()
+        reg.counter("b.total").inc()
+        reg.gauge("a.now").set(3)
+        reg.histogram("c.ns").observe(12)
+        snap = reg.snapshot()
+        assert list(snap) == sorted(snap)
+        assert snap["a.now"] == 3
+        assert snap["b.total"] == 1
+        assert snap["c.ns"]["count"] == 1
+
+    def test_reset_zeroes_but_keeps_instruments(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        c.inc(9)
+        reg.histogram("h").observe(5)
+        reg.reset()
+        assert reg.value("x") == 0
+        assert reg.get("h").count == 0
+        assert reg.counter("x") is c  # identity survives the reset
+
+    def test_contains_uses_series_keys(self):
+        reg = MetricsRegistry()
+        reg.counter("wire.bytes", channel="kmigrate")
+        assert "wire.bytes{channel=kmigrate}" in reg
+        assert "wire.bytes" not in reg

@@ -1,5 +1,7 @@
 """The command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -95,3 +97,68 @@ class TestCli:
     def test_unknown_attack_rejected(self):
         with pytest.raises(SystemExit):
             main(["attack", "voodoo"])
+
+
+class TestTelemetryCli:
+    def test_trace_chrome_is_valid_and_matches_downtime(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        prom_path = tmp_path / "metrics.prom"
+        assert main(["trace", "--format", "chrome", "--out", str(trace_path)]) == 0
+        assert main(["metrics", "--out", str(prom_path)]) == 0
+        doc = json.loads(trace_path.read_text())
+        (stop_and_copy,) = [
+            e
+            for e in doc["traceEvents"]
+            if e.get("ph") == "X" and e["name"] == "migration.stop_and_copy"
+        ]
+        downtime_line = next(
+            line
+            for line in prom_path.read_text().splitlines()
+            if line.startswith("migration_downtime_ns ")
+        )
+        downtime_ns = int(downtime_line.split()[-1])
+        assert stop_and_copy["dur"] * 1_000 == downtime_ns
+        assert downtime_ns > 0
+
+    def test_trace_report_format(self, capsys):
+        assert main(["trace", "--format", "report"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["figures"]["downtime_ns"] > 0
+        assert report["per_phase_ns"]["stop-and-copy"] > 0
+
+    def test_trace_jsonl_format(self, capsys):
+        assert main(["trace", "--format", "jsonl"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert all(json.loads(line) for line in lines)
+
+    def test_metrics_json_format(self, capsys):
+        assert main(["metrics", "--format", "json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["migration.completed_total"] == 1
+
+    def test_metrics_require_present(self, capsys):
+        assert main(["metrics", "--require", "migration.downtime_ns"]) == 0
+
+    def test_metrics_require_missing_fails(self, capsys):
+        assert main(["metrics", "--require", "no.such.metric"]) == 1
+        assert "absent or zero" in capsys.readouterr().out
+
+    def test_faults_json_report(self, capsys):
+        assert main(["faults", "--plan", "drop:kmigrate", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["outcome"] == "completed"
+        assert report["counter"] == report["reference_counter"]
+        assert report["timeline"]["figures"]["downtime_ns"] > 0
+
+    def test_faults_json_abort_exit_code(self, capsys):
+        assert main(["faults", "--plan", "crash:target:restore", "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["outcome"] == "aborted"
+        assert report["stats"]["aborts"] == 1
+
+    def test_recover_json_report(self, capsys):
+        assert main(["recover", "--plan", "crash-record:target:2", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["outcome"] == "completed"
+        assert report["invariants_clean"] is True
+        assert report["live_instances"] == 1
