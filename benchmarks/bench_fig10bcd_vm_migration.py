@@ -22,6 +22,7 @@ from benchmarks.harness import (
     launch_shared_image_apps,
     print_figure,
     report_from_metrics,
+    write_bench_json,
 )
 from repro.migration.testbed import build_testbed
 from repro.migration.vm import VmMigrationManager, migrate_plain_vm
@@ -49,6 +50,15 @@ def _one_point(n_enclaves: int):
     return result
 
 
+def _report_series(report) -> dict:
+    return {
+        "downtime_ns": report.downtime_ns,
+        "total_ns": report.total_ns,
+        "transferred_bytes": report.transferred_bytes,
+        "precopy_rounds": report.precopy_rounds,
+    }
+
+
 def run_sweep():
     if _CACHE:
         return _CACHE
@@ -57,6 +67,18 @@ def run_sweep():
     _CACHE["baseline"] = report_from_metrics(baseline_tb, baseline_report)
     for n in ENCLAVE_COUNTS:
         _CACHE[n] = _one_point(n)
+    write_bench_json(
+        "fig10",
+        {
+            "fig10bcd": {
+                "series": "whole-VM live migration with enclaves (2 GB VM)",
+                "baseline": _report_series(_CACHE["baseline"]),
+                "enclaves": {
+                    str(n): _report_series(_CACHE[n].report) for n in ENCLAVE_COUNTS
+                },
+            }
+        },
+    )
     return _CACHE
 
 

@@ -8,8 +8,44 @@ table per figure and summarized in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
+import os
+
 from repro.migration.testbed import Testbed, build_testbed
 from repro.sdk.host import HostApplication, WorkerSpec
+
+#: Where the machine-readable figure series land; the repo root keeps
+#: them next to EXPERIMENTS.md so CI can diff them across runs.
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def bench_json_path(figure: str) -> str:
+    """Path of the machine-readable series for ``figure`` (e.g. "fig10")."""
+    return os.path.join(
+        os.environ.get("REPRO_BENCH_DIR", _REPO_ROOT), f"BENCH_{figure}.json"
+    )
+
+
+def write_bench_json(figure: str, series: dict) -> str:
+    """Merge one figure's series into ``BENCH_<figure>.json``.
+
+    Read-modify-write under sorted keys: a sweep that only regenerates
+    one series (or runs the benches in a different order) never clobbers
+    the others, and the file diffs cleanly across runs.
+    """
+    path = bench_json_path(figure)
+    payload: dict = {}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            payload = {}
+    payload.update(series)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
 
 
 def print_figure(title: str, header: list[str], rows: list[list]) -> None:

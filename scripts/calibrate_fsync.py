@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Calibrate ``CostModel.journal_commit_ns`` against a real fsync.
+
+The durability layer charges one ``journal_commit_ns`` per write-ahead
+journal record (append + fsync + monotonic-counter bump).  The constant
+should track what an actual small append-and-fsync costs on the machine
+class the paper targets, not a guess.  This script measures it:
+
+1. append a journal-record-sized payload (256 bytes) to a scratch file;
+2. ``os.fsync`` it;
+3. repeat N times after a warmup, take the median.
+
+The median (not the mean) is the calibration target: fsync latency has a
+heavy tail (page-cache flushes, allocator noise) and the simulator
+charges the *typical* commit, while the tail belongs to fault plans.
+
+With ``--write`` the measured constant is rewritten into
+``src/repro/sim/costs.py`` (rounded to the nearest microsecond) together
+with a provenance comment recording the distribution; ``--dry-run``
+(default) only prints what would change.
+
+Usage::
+
+    python scripts/calibrate_fsync.py             # measure + show diff
+    python scripts/calibrate_fsync.py --write     # measure + patch costs.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import statistics
+import sys
+import tempfile
+import time
+
+RECORD_BYTES = 256  # typical CRC-framed journal record
+WARMUP = 50
+DEFAULT_SAMPLES = 2000
+
+_COSTS_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "src", "repro", "sim", "costs.py",
+)
+
+_LINE_RE = re.compile(r"^(\s*)journal_commit_ns: int = [\d_]+.*$", re.MULTILINE)
+
+
+def measure(samples: int = DEFAULT_SAMPLES) -> dict[str, int]:
+    """Median / p10 / p90 / mean of an append+fsync, in nanoseconds."""
+    payload = b"\xa5" * RECORD_BYTES
+    latencies: list[int] = []
+    with tempfile.NamedTemporaryFile(dir=os.path.dirname(_COSTS_PATH)) as scratch:
+        fd = scratch.fileno()
+        for i in range(WARMUP + samples):
+            t0 = time.perf_counter_ns()
+            os.write(fd, payload)
+            os.fsync(fd)
+            elapsed = time.perf_counter_ns() - t0
+            if i >= WARMUP:
+                latencies.append(elapsed)
+    latencies.sort()
+    return {
+        "median_ns": int(statistics.median(latencies)),
+        "p10_ns": latencies[len(latencies) // 10],
+        "p90_ns": latencies[(len(latencies) * 9) // 10],
+        "mean_ns": int(statistics.fmean(latencies)),
+        "samples": samples,
+    }
+
+
+def render_patch(stats: dict[str, int]) -> tuple[int, str]:
+    """(calibrated constant, replacement source line block)."""
+    # Round to the nearest microsecond: the simulator's other costs are
+    # round figures, and sub-microsecond precision here is noise.
+    calibrated = round(stats["median_ns"], -3)
+    line = (
+        "    # Calibrated by scripts/calibrate_fsync.py: median of "
+        f"{stats['samples']} timed\n"
+        f"    # {RECORD_BYTES}-byte append+fsync cycles on this repo's filesystem "
+        f"(median\n"
+        f"    # {stats['median_ns']:,} ns, p10 {stats['p10_ns']:,} ns, "
+        f"p90 {stats['p90_ns']:,} ns, mean {stats['mean_ns']:,} ns).\n"
+        f"    journal_commit_ns: int = {calibrated:_d}"
+    )
+    return calibrated, line
+
+
+def patch_costs(stats: dict[str, int], write: bool) -> int:
+    with open(_COSTS_PATH, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    match = _LINE_RE.search(source)
+    if match is None:
+        print(f"error: journal_commit_ns line not found in {_COSTS_PATH}")
+        return 1
+    calibrated, replacement = render_patch(stats)
+    # Drop any previous calibration provenance comment directly above
+    # the line, so re-running never stacks comments.
+    start = match.start()
+    lines = source[:start].splitlines(keepends=True)
+    while lines and lines[-1].lstrip().startswith("#") and (
+        "calibrate_fsync" in lines[-1]
+        or "append+fsync cycles" in lines[-1]
+        or "ns, p10" in lines[-1]
+        or "p90" in lines[-1]
+    ):
+        lines.pop()
+    patched = "".join(lines) + replacement + source[match.end():]
+    print(f"measured: median {stats['median_ns']:,} ns "
+          f"(p10 {stats['p10_ns']:,}, p90 {stats['p90_ns']:,}, "
+          f"mean {stats['mean_ns']:,}) over {stats['samples']} samples")
+    print(f"calibrated journal_commit_ns = {calibrated:,} ns")
+    if not write:
+        print("dry run: pass --write to patch src/repro/sim/costs.py")
+        return 0
+    if patched == source:
+        print("costs.py already up to date")
+        return 0
+    with open(_COSTS_PATH, "w", encoding="utf-8") as fh:
+        fh.write(patched)
+    print(f"patched {_COSTS_PATH}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--samples", type=int, default=DEFAULT_SAMPLES,
+        help=f"timed fsync cycles after warmup (default {DEFAULT_SAMPLES})",
+    )
+    parser.add_argument(
+        "--write", action="store_true",
+        help="rewrite journal_commit_ns in src/repro/sim/costs.py",
+    )
+    args = parser.parse_args(argv)
+    return patch_costs(measure(args.samples), write=args.write)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,10 @@ Commands:
 * ``metrics``   — run one seeded migration and export its metrics
   snapshot (Prometheus text or JSON); ``--require`` turns it into a CI
   gate that fails when a metric is absent or zero.
+* ``explain``   — run one seeded migration and print the critical-path
+  report: who to blame for every nanosecond of total time and downtime,
+  plus the causal DAG's fault summary; ``--require-blame`` turns it into
+  a CI gate that fails unless the named span/transfer is on a blame path.
 * ``inventory`` — print the system inventory (modules and their paper
   sections).
 
@@ -421,6 +425,29 @@ def _cmd_metrics(args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_explain(args) -> int:
+    from repro.telemetry.criticalpath import explain_migration
+    from repro.telemetry.exporters import to_chrome_trace
+    from repro.telemetry.runs import run_seeded_migration
+
+    tb = run_seeded_migration(seed=args.seed)
+    report = explain_migration(tb.telemetry, tb.network)
+    if args.format == "json":
+        text = _json_dumps(report.as_dict())
+    elif args.format == "chrome":
+        text = json.dumps(
+            to_chrome_trace(tb.telemetry, network=tb.network, critical=report),
+            sort_keys=True,
+        )
+    else:  # text
+        text = report.render_text()
+    _write_or_print(text, args.out, f"{args.format} explain report")
+    unmatched = [q for q in args.require_blame if not report.blames(q)]
+    for query in unmatched:
+        print(f"repro explain: required blame {query!r} is not on any blame path")
+    return 1 if unmatched else 0
+
+
 def _cmd_inventory(_args) -> int:
     rows = [
         ("repro.sim", "virtual clock, cost model, VCPU scheduler", "—"),
@@ -525,6 +552,24 @@ def main(argv: list[str] | None = None) -> int:
         help="exit non-zero unless this metric exists and is non-zero (repeatable)",
     )
     metrics.set_defaults(fn=_cmd_metrics)
+    explain = sub.add_parser(
+        "explain", help="run one seeded migration and print its critical path"
+    )
+    explain.add_argument("--seed", default=1, help="testbed seed")
+    explain.add_argument(
+        "--format", choices=("text", "json", "chrome"), default="text",
+        help="ranked text report, JSON report, or Chrome trace with overlays",
+    )
+    explain.add_argument("--out", default="", help="write to a file instead of stdout")
+    explain.add_argument(
+        "--require-blame", action="append", default=[], metavar="NAME",
+        dest="require_blame",
+        help=(
+            "exit non-zero unless NAME matches a blamed span/transfer or one "
+            "of its span ancestors (substring match; repeatable)"
+        ),
+    )
+    explain.set_defaults(fn=_cmd_explain)
     sub.add_parser("inventory", help="print the system inventory").set_defaults(
         fn=_cmd_inventory
     )

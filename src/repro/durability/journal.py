@@ -87,6 +87,18 @@ class Journal:
         if self.store.clock is not None and self.store.commit_cost_ns:
             self.store.clock.advance(self.store.commit_cost_ns)
         self.store.counter_bump(self.name)
+        if getattr(self.store, "trace", None) is not None:
+            # Payload-free by construction: journal payloads may hold
+            # sealed blobs, and nothing sealed ever enters the trace.
+            self.store.trace.emit(
+                "journal",
+                "append",
+                journal=self.name,
+                party=self.party,
+                kind=kind,
+                counter=counter,
+                n_bytes=len(frame),
+            )
         if self.store.metrics is not None:
             self.store.metrics.counter("journal.appends_total", party=self.party).inc()
             if start_ns is not None:

@@ -47,6 +47,7 @@ from repro.durability.journal import Journal, JournalRecord
 from repro.errors import NetworkFault, RecoveryError, ReproError
 from repro.sdk import control
 from repro.sdk.host import HostApplication
+from repro.telemetry.spans import maybe_span
 
 _REDELIVERY_ROUNDS = 5
 
@@ -101,38 +102,44 @@ class MigrationRecovery:
         :class:`~repro.errors.JournalRolledBack` if any journal fails
         validation — a damaged log is refused, never interpreted.
         """
-        # Validate *all* journals up front; a rollback on any party's log
-        # poisons the whole recovery, not just that party's branch.
-        wal_records = self.wal.records()
-        source_records = self.source_journal.records()
-        target_records = self.target_journal.records()
-        kinds = {
-            self.wal.name: [r.kind for r in wal_records],
-            self.source_journal.name: [r.kind for r in source_records],
-            self.target_journal.name: [r.kind for r in target_records],
-        }
-        self.tb.trace.emit("recovery", "begin", journals=kinds)
+        with maybe_span(
+            self.tb.trace,
+            "recovery.replay",
+            party="orchestrator",
+            image=self.app.image.name,
+        ):
+            # Validate *all* journals up front; a rollback on any party's
+            # log poisons the whole recovery, not just that party's branch.
+            wal_records = self.wal.records()
+            source_records = self.source_journal.records()
+            target_records = self.target_journal.records()
+            kinds = {
+                self.wal.name: [r.kind for r in wal_records],
+                self.source_journal.name: [r.kind for r in source_records],
+                self.target_journal.name: [r.kind for r in target_records],
+            }
+            self.tb.trace.emit("recovery", "begin", journals=kinds)
 
-        if _has(wal_records, wal.WAL_DONE):
-            # The crash landed after the final commit (e.g. on the `done`
-            # record itself): the target is live but may not have joined
-            # the monitor's lineage yet.
-            if self._target_alive():
-                self._join_lineage(self.target_app)
-            return self._report(
-                "already-complete",
-                1 if self._target_alive() else 0,
-                self.target_app,
-                "orchestrator journaled done",
-                kinds,
+            if _has(wal_records, wal.WAL_DONE):
+                # The crash landed after the final commit (e.g. on the
+                # `done` record itself): the target is live but may not
+                # have joined the monitor's lineage yet.
+                if self._target_alive():
+                    self._join_lineage(self.target_app)
+                return self._report(
+                    "already-complete",
+                    1 if self._target_alive() else 0,
+                    self.target_app,
+                    "orchestrator journaled done",
+                    kinds,
+                )
+
+            released = _has(source_records, wal.REC_RELEASED) or _has(
+                wal_records, wal.WAL_RELEASE
             )
-
-        released = _has(source_records, wal.REC_RELEASED) or _has(
-            wal_records, wal.WAL_RELEASE
-        )
-        if not released:
-            return self._recover_before_release(source_records, kinds)
-        return self._recover_after_release(wal_records, target_records, kinds)
+            if not released:
+                return self._recover_before_release(source_records, kinds)
+            return self._recover_after_release(wal_records, target_records, kinds)
 
     # ------------------------------------------------- before point of no return
     def _recover_before_release(self, source_records, kinds) -> RecoveryReport:
@@ -259,36 +266,44 @@ class MigrationRecovery:
         name_suffix: str,
     ) -> HostApplication:
         """Fresh enclave, same image, state restored from journaled bytes."""
-        # The crashed party may have left its OS in migration mode, which
-        # refuses new enclaves; recovery is the end of that migration.
-        guest_os.end_migration()
-        mirror = self.target_app if machine is self.tb.target else self.app
-        mirror = mirror or self.app
-        new_app = HostApplication(
-            machine,
-            guest_os,
-            self.app.image,
-            self.app.workers,
-            owner=None,
-            name=f"{self.app.image.name}-{name_suffix}",
-        )
-        new_app.completed_iterations = list(mirror.completed_iterations)
-        new_app.results = {k: list(v) for k, v in mirror.results.items()}
-        new_app.library.launch(owner=None)
-        library = new_app.library
-        try:
-            library.control_call(control.recovery_install_key, sealed_key)
-            plan = library.control_call(control.target_restore_memory, envelope)
-            library.replay_cssa(plan)
-            library.control_call(control.target_verify_and_finish, envelope)
-        except ReproError as exc:
-            library.destroy()
-            raise RecoveryError(
-                f"rebuilt instance could not restore from its journal: {exc}"
-            ) from exc
-        new_app.respawn_after_restore(plan)
-        self._join_lineage(new_app)
-        return new_app
+        party = "target" if machine is self.tb.target else "source"
+        with maybe_span(
+            self.tb.trace,
+            "recovery.rebuild",
+            party=party,
+            image=self.app.image.name,
+            suffix=name_suffix,
+        ):
+            # The crashed party may have left its OS in migration mode,
+            # which refuses new enclaves; recovery ends that migration.
+            guest_os.end_migration()
+            mirror = self.target_app if machine is self.tb.target else self.app
+            mirror = mirror or self.app
+            new_app = HostApplication(
+                machine,
+                guest_os,
+                self.app.image,
+                self.app.workers,
+                owner=None,
+                name=f"{self.app.image.name}-{name_suffix}",
+            )
+            new_app.completed_iterations = list(mirror.completed_iterations)
+            new_app.results = {k: list(v) for k, v in mirror.results.items()}
+            new_app.library.launch(owner=None)
+            library = new_app.library
+            try:
+                library.control_call(control.recovery_install_key, sealed_key)
+                plan = library.control_call(control.target_restore_memory, envelope)
+                library.replay_cssa(plan)
+                library.control_call(control.target_verify_and_finish, envelope)
+            except ReproError as exc:
+                library.destroy()
+                raise RecoveryError(
+                    f"rebuilt instance could not restore from its journal: {exc}"
+                ) from exc
+            new_app.respawn_after_restore(plan)
+            self._join_lineage(new_app)
+            return new_app
 
     # --------------------------------------------------------------- helpers
     def _target_alive(self) -> bool:
@@ -307,16 +322,19 @@ class MigrationRecovery:
             pass
 
     def _redeliver(self, sealed: bytes) -> bytes:
-        last_exc: Exception | None = None
-        for _ in range(_REDELIVERY_ROUNDS):
-            try:
-                return self.tb.network.transfer("kmigrate", sealed)
-            except NetworkFault as exc:
-                last_exc = exc
-                self.tb.clock.advance(8_000_000)
-        raise RecoveryError(
-            "sealed key could not be redelivered during recovery"
-        ) from last_exc
+        with maybe_span(
+            self.tb.trace, "recovery.redeliver", party="orchestrator"
+        ):
+            last_exc: Exception | None = None
+            for _ in range(_REDELIVERY_ROUNDS):
+                try:
+                    return self.tb.network.transfer("kmigrate", sealed)
+                except NetworkFault as exc:
+                    last_exc = exc
+                    self.tb.clock.advance(8_000_000)
+            raise RecoveryError(
+                "sealed key could not be redelivered during recovery"
+            ) from last_exc
 
     def _join_lineage(self, app: HostApplication) -> None:
         monitor = getattr(self.tb, "monitor", None)

@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover
     from repro.faults.injector import FaultInjector
     from repro.sim.clock import VirtualClock
+    from repro.sim.trace import EventTrace
     from repro.telemetry.metrics import MetricsRegistry
 
 
@@ -44,6 +45,10 @@ class DurableStore:
         self.clock: "VirtualClock | None" = None
         self.metrics: "MetricsRegistry | None" = None
         self.commit_cost_ns: int = 0
+        #: Optional event trace: journal commits emit payload-free
+        #: ``("journal", "append")`` events through it so the flight
+        #: recorder's per-party rings see durable state transitions.
+        self.trace: "EventTrace | None" = None
 
     # ------------------------------------------------------------- byte logs
     def log(self, name: str) -> bytearray:

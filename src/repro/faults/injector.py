@@ -110,11 +110,15 @@ class FaultInjector:
         """Called after wire accounting; applies message-level faults."""
         seq = self._delivery_seq.get(label, 0) + 1
         self._delivery_seq[label] = seq
+        # The wire record under delivery is the last one logged; its
+        # global sequence number ties each fault event to the exact wire
+        # node the causal DAG builds from the record.
+        wire_seq = network.log[-1].seq if network.log else None
         delivered = payload
         for fault in self._matching(label, seq):
             fault.spent = True
             if fault.kind == KIND_DROP:
-                self._trace.emit("fault", "drop", label=label, nth=seq)
+                self._trace.emit("fault", "drop", label=label, nth=seq, wire_seq=wire_seq)
                 self._clock.advance(self.drop_timeout_ns)
                 raise LinkTimeout(f"message {label!r} #{seq} was dropped on the wire")
             if fault.kind == KIND_DUPLICATE:
@@ -122,20 +126,31 @@ class FaultInjector:
                 # identical deliveries (the resumable transfer must treat
                 # the second as a no-op).
                 network.record_duplicate(label, delivered)
-                self._trace.emit("fault", "duplicate", label=label, nth=seq)
+                self._trace.emit(
+                    "fault", "duplicate", label=label, nth=seq, wire_seq=wire_seq
+                )
             elif fault.kind == KIND_CORRUPT:
                 delivered = self._corrupt(delivered)
-                self._trace.emit("fault", "corrupt", label=label, nth=seq)
+                self._trace.emit(
+                    "fault", "corrupt", label=label, nth=seq, wire_seq=wire_seq
+                )
             elif fault.kind == KIND_DELAY:
                 self._clock.advance(fault.delay_ns)
                 self._trace.emit(
-                    "fault", "delay", label=label, nth=seq, delay_ns=fault.delay_ns
+                    "fault",
+                    "delay",
+                    label=label,
+                    nth=seq,
+                    delay_ns=fault.delay_ns,
+                    wire_seq=wire_seq,
                 )
             elif fault.kind == KIND_REORDER:
                 # Stream reorders are applied by chunk_send_order(); one
                 # that survives to delivery is on a lockstep label.
                 self._clock.advance(self.reorder_delay_ns)
-                self._trace.emit("fault", "reorder_as_delay", label=label, nth=seq)
+                self._trace.emit(
+                    "fault", "reorder_as_delay", label=label, nth=seq, wire_seq=wire_seq
+                )
         return delivered
 
     def _matching(self, label: str, seq: int) -> list[MessageFault]:

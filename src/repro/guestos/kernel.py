@@ -8,6 +8,7 @@ its enclave ready, and finally issues the migration-ready hypercall.
 
 from __future__ import annotations
 
+import itertools
 from typing import TYPE_CHECKING, Callable
 
 from repro.errors import GuestOsError
@@ -40,11 +41,17 @@ class GuestOs:
         self.processes: dict[int, GuestProcess] = {}
         self.migrating = False
         self._ready_enclaves: set[int] = set()
+        #: Per-kernel PID allocator.  Deliberately not the class-level
+        #: counter on GuestProcess: that one is process-global, so a
+        #: second testbed in the same interpreter would see different
+        #: pids — and the per-process RDRAND stream (forked by pid)
+        #: would diverge between two same-seed runs.
+        self._next_pid = itertools.count(100)
         vm.guest_os = self
 
     # ------------------------------------------------------------- processes
     def spawn_process(self, name: str) -> GuestProcess:
-        process = GuestProcess(name)
+        process = GuestProcess(name, pid=next(self._next_pid))
         self.processes[process.pid] = process
         return process
 

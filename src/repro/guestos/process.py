@@ -29,8 +29,12 @@ class GuestProcess:
 
     _pids = itertools.count(100)
 
-    def __init__(self, name: str) -> None:
-        self.pid = next(self._pids)
+    def __init__(self, name: str, pid: int | None = None) -> None:
+        # PIDs must come from the owning kernel: the class-level counter
+        # (kept as a fallback for bare constructions) is process-global
+        # state that would leak across testbeds and break same-seed
+        # determinism — the per-process RDRAND stream is forked by pid.
+        self.pid = next(self._pids) if pid is None else pid
         self.name = name
         self.threads: list[GuestThread] = []
         self.signal_handlers: dict[int, Callable[[], None]] = {}

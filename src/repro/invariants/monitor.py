@@ -252,5 +252,15 @@ class InvariantMonitor:
     def _violate(self, message: str) -> None:
         self.violations.append(message)
         self.tb.trace.metrics.counter("invariants.violations_total").inc()
-        self.tb.trace.emit("invariant", "violation", message=message)
+        # The violation event carries the span that was active when the
+        # property broke — the flight recorder's dump (triggered by this
+        # event) then pins the failure to a protocol step, not just a time.
+        tracer = getattr(self.tb.trace, "tracer", None)
+        active = tracer.active() if tracer is not None else None
+        self.tb.trace.emit(
+            "invariant",
+            "violation",
+            message=message,
+            during=active.name if active is not None else None,
+        )
         raise InvariantViolation(message)

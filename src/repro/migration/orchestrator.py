@@ -390,7 +390,11 @@ class MigrationOrchestrator:
         :class:`MigrationAborted` with the invariants intact.
         """
         self._run_start_ns = self.tb.clock.now_ns
-        with self.tel.span("migration.run", image=app.image.name):
+        with self.tel.span("migration.run", image=app.image.name) as run_span:
+            # One trace id per migration run: every wire record sent while
+            # this span is open carries it (see repro.telemetry.causal).
+            self.tel.tracer.trace_id = f"mig-{run_span.span_id}"
+            run_span.attrs["trace_id"] = self.tel.tracer.trace_id
             return self._run_migration(app)
 
     def _run_migration(self, app: HostApplication) -> EnclaveMigrationResult:

@@ -21,6 +21,7 @@ from repro.migration.testbed import Testbed
 from repro.sdk import control
 from repro.sdk.host import HostApplication
 from repro.sdk.owner import EnclaveOwner
+from repro.telemetry.spans import maybe_span
 
 
 @dataclass
@@ -46,27 +47,36 @@ class SnapshotManager:
 
     def snapshot(self, app: HostApplication, reason: str) -> Snapshot:
         """Take an owner-keyed snapshot of a running enclave app."""
-        library = app.library
-        quote, dh_public = library.control_call(
-            control.owner_key_request, app.machine.quoting_enclave, "snapshot"
-        )
-        owner_public, sealed = self.owner.grant_snapshot_key(
-            app.image.name, quote, dh_public, reason
-        )
-        library.control_call(control.owner_key_install, owner_public, sealed, "snapshot")
+        with maybe_span(
+            self.tb.trace,
+            "snapshot.take",
+            party="source",
+            image=app.image.name,
+            reason=reason,
+        ):
+            library = app.library
+            quote, dh_public = library.control_call(
+                control.owner_key_request, app.machine.quoting_enclave, "snapshot"
+            )
+            owner_public, sealed = self.owner.grant_snapshot_key(
+                app.image.name, quote, dh_public, reason
+            )
+            library.control_call(
+                control.owner_key_install, owner_public, sealed, "snapshot"
+            )
 
-        library.checkpoint_use_installed_key = True
-        library.last_checkpoint = None
-        try:
-            self.orchestrator.checkpoint_enclave(app)
-        finally:
-            library.checkpoint_use_installed_key = False
-        result = library.last_checkpoint
-        self.owner.record_snapshot(app.image.name, result.sequence)
-        # A snapshot is not a migration: the enclave resumes right away.
-        library.control_call(control.source_cancel_migration)
-        library.last_checkpoint = None
-        return Snapshot(app.image.name, result.sequence, result.envelope)
+            library.checkpoint_use_installed_key = True
+            library.last_checkpoint = None
+            try:
+                self.orchestrator.checkpoint_enclave(app)
+            finally:
+                library.checkpoint_use_installed_key = False
+            result = library.last_checkpoint
+            self.owner.record_snapshot(app.image.name, result.sequence)
+            # A snapshot is not a migration: the enclave resumes right away.
+            library.control_call(control.source_cancel_migration)
+            library.last_checkpoint = None
+            return Snapshot(app.image.name, result.sequence, result.envelope)
 
     def resume(
         self,
@@ -79,25 +89,35 @@ class SnapshotManager:
         tb = self.tb
         machine = tb.target if on_target else tb.source
         guest_os = tb.target_os if on_target else tb.source_os
-        fresh = HostApplication(
-            machine,
-            guest_os,
-            app_template.image,
-            app_template.workers,
-            owner=None,
-            name=f"{snapshot.image_name}-resumed",
-        )
-        fresh.library.launch(owner=None)
-        quote, dh_public = fresh.library.control_call(
-            control.owner_key_request, machine.quoting_enclave, "resume"
-        )
-        owner_public, sealed = self.owner.grant_resume_key(
-            snapshot.image_name, quote, dh_public, reason
-        )
-        fresh.library.control_call(control.owner_key_install, owner_public, sealed, "resume")
+        with maybe_span(
+            tb.trace,
+            "snapshot.resume",
+            party="target" if on_target else "source",
+            image=snapshot.image_name,
+            sequence=snapshot.sequence,
+            reason=reason,
+        ):
+            fresh = HostApplication(
+                machine,
+                guest_os,
+                app_template.image,
+                app_template.workers,
+                owner=None,
+                name=f"{snapshot.image_name}-resumed",
+            )
+            fresh.library.launch(owner=None)
+            quote, dh_public = fresh.library.control_call(
+                control.owner_key_request, machine.quoting_enclave, "resume"
+            )
+            owner_public, sealed = self.owner.grant_resume_key(
+                snapshot.image_name, quote, dh_public, reason
+            )
+            fresh.library.control_call(
+                control.owner_key_install, owner_public, sealed, "resume"
+            )
 
-        checkpoint_bytes = snapshot.envelope.to_bytes()
-        plan = self.orchestrator.restore(fresh, checkpoint_bytes)
-        fresh.respawn_after_restore(plan)
-        guest_os.end_migration()
-        return fresh
+            checkpoint_bytes = snapshot.envelope.to_bytes()
+            plan = self.orchestrator.restore(fresh, checkpoint_bytes)
+            fresh.respawn_after_restore(plan)
+            guest_os.end_migration()
+            return fresh

@@ -135,6 +135,9 @@ def build_testbed(
     testbed.durable.clock = clock
     testbed.durable.metrics = trace.metrics
     testbed.durable.commit_cost_ns = costs.journal_commit_ns
+    # Journal commits also surface as payload-free trace events, so the
+    # flight recorder's per-party rings include durable transitions.
+    testbed.durable.trace = trace
     testbed.monitor = InvariantMonitor(testbed)
     testbed.monitor.attach()
     return testbed

@@ -51,6 +51,11 @@ class Telemetry:
         self.tracer = Tracer(clock, trace)
         trace.tracer = self.tracer
         trace.add_observer(self._on_event)
+        # The black-box recorder rides along on every telemetry surface
+        # (bounded rings; costs nothing until something goes wrong).
+        from repro.telemetry.flightrecorder import FlightRecorder
+
+        self.flightrecorder = FlightRecorder(self)
 
     # ------------------------------------------------------------ conveniences
     def span(self, name: str, party: str = "orchestrator", track: str = "", **attrs):

@@ -1,0 +1,230 @@
+"""Cross-party causal tracing: wire contexts and the migration DAG.
+
+The span layer (PR 3) records *per-party* time; this module stitches the
+parties together.  Every :meth:`repro.net.network.Network.transfer`
+stamps a :class:`WireContext` — ``(trace_id, parent_span_id, seq)`` —
+onto its wire record at send time, and the span observing the delivery
+adopts the sequence number into its attributes.  Spans (with their
+parent links) plus the resulting send→recv edges form one causal DAG
+spanning source, target, orchestrator, and the migration agent.
+
+Fault injection stays *visible* in the graph instead of leaving silent
+gaps:
+
+* a **dropped** transfer is a wire node whose recv edge has no
+  destination (a *broken* edge — the bytes entered the wire and nobody
+  observed them arrive);
+* a **duplicated** transfer is a second wire node linked to the
+  original by a *duplicate* edge (same context, same label, two
+  deliveries);
+* a **reordered** chunk stream marks the two swapped wire records, so
+  the out-of-order sends are flagged rather than inferred.
+
+:func:`build_dag` is a pure function of the telemetry + network state;
+it never advances the clock, so building the DAG mid-run is safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.network import Network, TransferRecord
+    from repro.telemetry import Telemetry
+    from repro.telemetry.spans import Span
+
+
+@dataclass(frozen=True)
+class WireContext:
+    """Trace context stamped onto one wire record at send time."""
+
+    #: The migration run's trace id (``mig-<run span id>``), or None when
+    #: the transfer happened outside any instrumented run.
+    trace_id: str | None
+    #: The span that was active (innermost open) when the bytes entered
+    #: the wire — the transfer's causal parent.
+    parent_span_id: int | None
+    #: Global wire sequence number; unique per network, never reused.
+    seq: int
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "parent_span_id": self.parent_span_id,
+            "seq": self.seq,
+        }
+
+
+#: Which party sends and which receives under each protocol wire label.
+#: The network is point-to-point; the label fixes the route, so the DAG
+#: can attribute every transfer to its endpoints without guessing.
+LABEL_ROUTES: dict[str, tuple[str, str]] = {
+    "channel-request": ("target", "source"),
+    "ias-quote": ("source", "ias"),
+    "channel-answer": ("source", "target"),
+    "checkpoint": ("source", "target"),
+    "checkpoint-chunk": ("source", "target"),
+    "kmigrate": ("source", "target"),
+    "agent-escrow-request": ("source", "agent"),
+    "agent-escrow": ("agent", "target"),
+}
+
+
+def route_for(label: str) -> tuple[str, str]:
+    """(sender, receiver) for ``label``; unknown labels default to the
+    migration link's direction."""
+    return LABEL_ROUTES.get(label, ("source", "target"))
+
+
+@dataclass(frozen=True)
+class CausalEdge:
+    """One directed edge of the migration DAG.
+
+    Node ids are ``"span:<span_id>"`` / ``"wire:<seq>"``.  A recv edge
+    with ``dst=None`` is *broken*: the transfer was lost on the wire.
+    """
+
+    kind: str  #: "parent" | "send" | "recv" | "duplicate"
+    src: str | None
+    dst: str | None
+    label: str = ""
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "src": self.src, "dst": self.dst, "label": self.label}
+
+
+@dataclass
+class CausalDag:
+    """Spans + wire transfers + the edges connecting them."""
+
+    spans: list["Span"] = field(default_factory=list)
+    transfers: list["TransferRecord"] = field(default_factory=list)
+    edges: list[CausalEdge] = field(default_factory=list)
+
+    # ------------------------------------------------------------- queries
+    def span_by_id(self, span_id: int) -> "Span | None":
+        for span in self.spans:
+            if span.span_id == span_id:
+                return span
+        return None
+
+    def transfer_by_seq(self, seq: int) -> "TransferRecord | None":
+        for record in self.transfers:
+            if record.seq == seq:
+                return record
+        return None
+
+    def broken_edges(self) -> list[CausalEdge]:
+        """Recv edges whose transfer was dropped: sent, never observed."""
+        return [e for e in self.edges if e.kind == "recv" and e.dst is None]
+
+    def duplicate_edges(self) -> list[CausalEdge]:
+        """Edges linking a duplicated delivery back to its original."""
+        return [e for e in self.edges if e.kind == "duplicate"]
+
+    def reordered_transfers(self) -> list["TransferRecord"]:
+        """Wire records that crossed out of their stream order."""
+        return [t for t in self.transfers if t.reordered]
+
+    def trace_ids(self) -> list[str]:
+        """Every distinct trace id seen on the wire, in first-seen order."""
+        seen: list[str] = []
+        for record in self.transfers:
+            tid = record.ctx.trace_id if record.ctx is not None else None
+            if tid is not None and tid not in seen:
+                seen.append(tid)
+        return seen
+
+    def health(self) -> dict[str, Any]:
+        """The DAG's fault summary, ready for reports and CI gates."""
+        return {
+            "spans": len(self.spans),
+            "transfers": len(self.transfers),
+            "edges": len(self.edges),
+            "broken_edges": [
+                {"label": e.label, "src": e.src} for e in self.broken_edges()
+            ],
+            "duplicate_edges": [
+                {"label": e.label, "src": e.src, "dst": e.dst}
+                for e in self.duplicate_edges()
+            ],
+            "reordered_transfers": [
+                {"label": t.label, "seq": t.seq} for t in self.reordered_transfers()
+            ],
+        }
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "nodes": (
+                [f"span:{s.span_id}" for s in self.spans]
+                + [f"wire:{t.seq}" for t in self.transfers]
+            ),
+            "edges": [e.as_dict() for e in self.edges],
+            "health": self.health(),
+        }
+
+
+def build_dag(telemetry: "Telemetry", network: "Network") -> CausalDag:
+    """Assemble the causal DAG from one run's spans and wire log."""
+    spans = list(telemetry.tracer.spans)
+    transfers = list(network.log)
+    edges: list[CausalEdge] = []
+
+    for span in spans:
+        if span.parent_id is not None:
+            edges.append(
+                CausalEdge("parent", f"span:{span.parent_id}", f"span:{span.span_id}")
+            )
+
+    _mark_reordered(telemetry, transfers)
+
+    for record in transfers:
+        node = f"wire:{record.seq}"
+        parent = record.ctx.parent_span_id if record.ctx is not None else None
+        edges.append(
+            CausalEdge(
+                "send",
+                f"span:{parent}" if parent is not None else None,
+                node,
+                label=record.label,
+            )
+        )
+        if record.duplicate and record.duplicate_of is not None:
+            edges.append(
+                CausalEdge(
+                    "duplicate", f"wire:{record.duplicate_of}", node, label=record.label
+                )
+            )
+        if record.status == "lost":
+            edges.append(CausalEdge("recv", node, None, label=record.label))
+        elif record.status == "delivered":
+            dst = (
+                f"span:{record.recv_span_id}"
+                if record.recv_span_id is not None
+                else None
+            )
+            edges.append(CausalEdge("recv", node, dst, label=record.label))
+    return CausalDag(spans=spans, transfers=transfers, edges=edges)
+
+
+def _mark_reordered(telemetry: "Telemetry", transfers: list["TransferRecord"]) -> None:
+    """Flag the wire records a stream reorder actually swapped.
+
+    ``chunk_send_order`` emits ``("fault", "reorder", label=L, nth=N)``
+    when it swaps the N-th and (N+1)-th frames of stream ``L``; the
+    corresponding *sent* records (duplicates excluded) are the swapped
+    positions in send order.
+    """
+    for event in telemetry.trace.events:
+        if event.category != "fault" or event.name != "reorder":
+            continue
+        label = event.payload.get("label")
+        nth = event.payload.get("nth")
+        if label is None or nth is None:
+            continue
+        stream = [t for t in transfers if t.label == label and not t.duplicate]
+        i = int(nth) - 1
+        if 0 <= i and i + 1 < len(stream):
+            stream[i].reordered = True
+            stream[i + 1].reordered = True

@@ -85,12 +85,28 @@ def to_jsonl(telemetry: "Telemetry") -> str:
 
 # --------------------------------------------------------------- chrome trace
 
-def to_chrome_trace(telemetry: "Telemetry") -> dict[str, Any]:
+def to_chrome_trace(
+    telemetry: "Telemetry",
+    network: "Any | None" = None,
+    critical: "Any | None" = None,
+) -> dict[str, Any]:
     """The run as a Chrome ``trace_event`` object (ts/dur in microseconds).
 
     Finished spans become complete ("X") events; unfinished spans and
     plain trace events become instants ("i") so nothing is silently
     dropped.  Virtual time maps one-to-one onto trace time.
+
+    Two optional overlays extend the base export backward-compatibly:
+
+    * ``network`` — a :class:`~repro.net.network.Network`; each transfer
+      record becomes an "X" slice on a ``wire`` process, and delivered
+      records whose receiving span adopted them get flow arrows
+      ("s"/"f" events keyed on the wire sequence number) from the slice
+      to the receiving span's track.
+    * ``critical`` — an :class:`~repro.telemetry.criticalpath.ExplainReport`
+      (or single ``CriticalPathReport``); its attributed segments render
+      as "X" slices on a ``critical-path`` process so the blame timeline
+      sits directly under the spans it explains.
     """
     pids: dict[str, int] = {}
     tids: dict[tuple[str, str], int] = {}
@@ -170,6 +186,82 @@ def to_chrome_trace(telemetry: "Telemetry") -> dict[str, Any]:
                 "args": _json_safe(event.payload),
             }
         )
+
+    if network is not None:
+        span_by_id = {s.span_id: s for s in telemetry.tracer.spans}
+        wire_pid = pid_for("wire")
+        wire_tid = tid_for("wire", "")
+        for record in network.log:
+            end_ns = record.t_done_ns
+            if end_ns is None:
+                end_ns = record.t_send_ns
+            trace_events.append(
+                {
+                    "ph": "X",
+                    "name": record.label,
+                    "cat": "wire",
+                    "ts": record.t_send_ns / 1_000,
+                    "dur": max(end_ns - record.t_send_ns, 0) / 1_000,
+                    "pid": wire_pid,
+                    "tid": wire_tid,
+                    "args": {
+                        "seq": record.seq,
+                        "bytes": record.n_bytes,
+                        "status": record.status,
+                        "duplicate": record.duplicate,
+                        "reordered": record.reordered,
+                    },
+                }
+            )
+            recv = span_by_id.get(record.recv_span_id)
+            if record.status != "delivered" or recv is None:
+                continue
+            trace_events.append(
+                {
+                    "ph": "s",
+                    "id": record.seq,
+                    "name": f"wire/{record.label}",
+                    "cat": "wire-flow",
+                    "ts": record.t_send_ns / 1_000,
+                    "pid": wire_pid,
+                    "tid": wire_tid,
+                }
+            )
+            trace_events.append(
+                {
+                    "ph": "f",
+                    "bp": "e",
+                    "id": record.seq,
+                    "name": f"wire/{record.label}",
+                    "cat": "wire-flow",
+                    "ts": end_ns / 1_000,
+                    "pid": pid_for(recv.party),
+                    "tid": tid_for(recv.party, recv.track),
+                }
+            )
+
+    if critical is not None:
+        reports = getattr(critical, "reports", None)
+        if reports is None:
+            reports = [critical]
+        cp_pid = pid_for("critical-path")
+        for report in reports:
+            if report is None:
+                continue
+            tid = tid_for("critical-path", report.anchor)
+            for segment in report.segments:
+                trace_events.append(
+                    {
+                        "ph": "X",
+                        "name": segment.blame,
+                        "cat": "critical-path",
+                        "ts": segment.start_ns / 1_000,
+                        "dur": segment.duration_ns / 1_000,
+                        "pid": cp_pid,
+                        "tid": tid,
+                        "args": {"kind": segment.kind, "anchor": report.anchor},
+                    }
+                )
     return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
 
 

@@ -83,8 +83,16 @@ class Tracer:
         self.clock = clock
         self.trace = trace
         self.spans: list[Span] = []  # every span ever started, in start order
+        #: Trace context shared with the wire: the orchestrator stamps a
+        #: fresh id per migration run, and every
+        #: :meth:`repro.net.network.Network.transfer` copies it onto its
+        #: wire record so spans and transfers correlate across parties.
+        self.trace_id: str | None = None
         self._ids = itertools.count(1)
         self._stacks: dict[tuple[str, str], list[Span]] = {}
+        #: Start-ordered open-span candidates for :meth:`active`; finished
+        #: tails are popped lazily so the query stays O(1) amortized.
+        self._activation: list[Span] = []
 
     # ------------------------------------------------------------ start / end
     def start(self, name: str, party: str = "orchestrator", track: str = "", **attrs: Any) -> Span:
@@ -102,6 +110,7 @@ class Tracer:
         )
         stack.append(span)
         self.spans.append(span)
+        self._activation.append(span)
         if self.trace is not None:
             self.trace.emit(
                 "span", "start", span=span.span_id, span_name=name, party=party
@@ -154,6 +163,17 @@ class Tracer:
         stack = self._stacks.get((party, str(track)))
         return stack[-1] if stack else None
 
+    def active(self) -> Span | None:
+        """The most recently started span that is still open, any track.
+
+        This is what the network stamps onto a wire record as the
+        transfer's causal parent: in the single-threaded simulation the
+        innermost open span *is* the activity performing the send.
+        """
+        while self._activation and self._activation[-1].finished:
+            self._activation.pop()
+        return self._activation[-1] if self._activation else None
+
     def finished(self) -> list[Span]:
         return [s for s in self.spans if s.finished]
 
@@ -185,3 +205,4 @@ class Tracer:
         """Drop recorded spans (open spans on the stacks survive)."""
         open_ids = {s.span_id for stack in self._stacks.values() for s in stack}
         self.spans = [s for s in self.spans if s.span_id in open_ids]
+        self._activation = [s for s in self.spans if not s.finished]

@@ -2,9 +2,15 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.invariants import active_monitors, reset_active
+from repro.telemetry.flightrecorder import (
+    active_recorders,
+    reset_active as reset_recorders,
+)
 from repro.migration.testbed import Testbed, build_testbed
 from repro.sdk.host import HostApplication, WorkerSpec
 from repro.sdk.program import AtomicEntry, EnclaveProgram, ResumableEntry
@@ -25,12 +31,35 @@ def invariant_watchdog():
     call ``monitor.acknowledge()`` before returning.
     """
     reset_active()
+    reset_recorders()
     try:
         yield
         for monitor in active_monitors():
             monitor.assert_clean()
     finally:
         reset_active()
+        reset_recorders()
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """On a failed test, dump every live flight recorder to disk.
+
+    Only active when ``REPRO_FLIGHT_DIR`` is set (CI exports it and
+    uploads the dumps as artifacts); local runs stay quiet.  Dumping is
+    best-effort — a recorder error must never mask the real failure.
+    """
+    outcome = yield
+    report = outcome.get_result()
+    if report.when != "call" or not report.failed:
+        return
+    if not os.environ.get("REPRO_FLIGHT_DIR"):
+        return
+    for recorder in active_recorders():
+        try:
+            recorder.dump(trigger=f"test-failure:{item.name}")
+        except Exception:
+            pass
 
 
 @pytest.fixture

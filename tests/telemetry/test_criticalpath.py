@@ -1,0 +1,123 @@
+"""Critical-path attribution: 100% of every anchor, deterministically."""
+
+import pytest
+
+from repro.errors import MigrationAborted
+from repro.faults import FaultInjector, FaultPlan, MessageFault
+from repro.migration.orchestrator import FAULT_TOLERANT_RETRY, MigrationOrchestrator
+from repro.migration.testbed import build_testbed
+from repro.telemetry.criticalpath import (
+    ANCHOR_DOWNTIME,
+    ANCHOR_TOTAL,
+    critical_path,
+    explain_migration,
+)
+from repro.telemetry.runs import run_seeded_migration
+
+from tests.conftest import build_counter_app
+
+#: Message-fault matrix for the attribution property: whatever the wire
+#: does, the segments must still partition the anchor exactly.
+_FAULT_CASES = [
+    None,
+    MessageFault("drop", "kmigrate"),
+    MessageFault("drop", "checkpoint-chunk"),
+    MessageFault("corrupt", "checkpoint-chunk", nth=2),
+    MessageFault("duplicate", "channel-request"),
+    MessageFault("delay", "channel-answer"),
+    MessageFault("reorder", "checkpoint-chunk", nth=2),
+]
+
+
+def _faulted_run(fault, seed):
+    plan = FaultPlan(seed=seed)
+    if fault is not None:
+        plan.message_faults.append(fault)
+    tb = build_testbed(seed=3000 + seed)
+    app = build_counter_app(tb, tag="critpath")
+    app.ecall_once(0, "incr", 5)
+    orch = MigrationOrchestrator(
+        tb, retry=FAULT_TOLERANT_RETRY, faults=FaultInjector(plan)
+    )
+    try:
+        orch.migrate_enclave(app)
+    except MigrationAborted:
+        pass
+    return tb
+
+
+class TestAttribution:
+    @pytest.fixture(scope="class")
+    def tb(self):
+        return run_seeded_migration(seed=1)
+
+    def test_total_report_sums_to_the_run_span(self, tb):
+        report = critical_path(tb.telemetry, tb.network, ANCHOR_TOTAL)
+        run_span = tb.telemetry.tracer.last(ANCHOR_TOTAL)
+        assert report.total_ns == run_span.duration_ns
+        assert report.attributed_ns == report.total_ns
+
+    def test_downtime_report_matches_the_gauge(self, tb):
+        report = critical_path(tb.telemetry, tb.network, ANCHOR_DOWNTIME)
+        downtime_ns = tb.trace.metrics.value("migration.downtime_ns")
+        assert report.total_ns == downtime_ns
+        assert report.attributed_ns == downtime_ns  # 100% attributed
+
+    def test_segments_partition_the_interval(self, tb):
+        report = critical_path(tb.telemetry, tb.network, ANCHOR_TOTAL)
+        assert report.segments[0].start_ns == report.start_ns
+        assert report.segments[-1].end_ns == report.end_ns
+        for a, b in zip(report.segments, report.segments[1:]):
+            assert a.end_ns == b.start_ns  # gapless, no overlap
+
+    def test_contributions_are_ranked_and_complete(self, tb):
+        report = critical_path(tb.telemetry, tb.network, ANCHOR_TOTAL)
+        durations = [c.duration_ns for c in report.contributions]
+        assert durations == sorted(durations, reverse=True)
+        assert sum(durations) == report.total_ns
+        assert abs(sum(c.share_pct for c in report.contributions) - 100.0) < 1e-6
+
+    def test_downtime_blames_the_stop_and_copy_path(self, tb):
+        report = explain_migration(tb.telemetry, tb.network)
+        assert report.blames("stop_and_copy")
+        assert report.blames("migration.run")
+        assert not report.blames("no-such-span")
+
+    def test_wire_transfers_appear_as_blame_units(self, tb):
+        report = critical_path(tb.telemetry, tb.network, ANCHOR_DOWNTIME)
+        kinds = {c.kind for c in report.contributions}
+        assert "transfer" in kinds and "span" in kinds
+        names = [c.name for c in report.contributions]
+        assert any(name.startswith("wire/") for name in names)
+
+
+class TestAttributionProperty:
+    """Attribution is exact whatever the fault plan did to the run."""
+
+    @pytest.mark.parametrize(
+        "fault", _FAULT_CASES, ids=lambda f: "fault-free" if f is None else f"{f.kind}:{f.label}"
+    )
+    def test_segments_always_sum_to_the_anchor(self, fault):
+        tb = _faulted_run(fault, seed=5)
+        anchor = tb.telemetry.tracer.last(ANCHOR_TOTAL)
+        if anchor is None:
+            pytest.skip("migration aborted before the run span closed")
+        report = critical_path(tb.telemetry, tb.network, ANCHOR_TOTAL)
+        assert report.attributed_ns == anchor.duration_ns
+        down = critical_path(tb.telemetry, tb.network, ANCHOR_DOWNTIME)
+        assert down.attributed_ns == down.total_ns
+
+    def test_same_seed_same_report(self):
+        a = run_seeded_migration(seed=42)
+        b = run_seeded_migration(seed=42)
+        ra = explain_migration(a.telemetry, a.network).as_dict()
+        rb = explain_migration(b.telemetry, b.network).as_dict()
+        assert ra == rb
+
+    def test_render_text_is_deterministic_and_complete(self):
+        tb = run_seeded_migration(seed=1)
+        report = explain_migration(tb.telemetry, tb.network)
+        text = report.render_text()
+        assert "migration critical path" in text
+        assert "100.0%" in text
+        assert report.render_text() == text

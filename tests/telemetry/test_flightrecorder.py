@@ -1,0 +1,112 @@
+"""Flight recorder: bounded rings, auto-dump on failure, redaction."""
+
+import json
+
+import pytest
+
+from repro.errors import MachineCrash, MigrationAborted, PartyCrash
+from repro.faults import FaultInjector, FaultPlan
+from repro.migration.orchestrator import FAULT_TOLERANT_RETRY, MigrationOrchestrator
+from repro.migration.testbed import build_testbed
+from repro.telemetry.flightrecorder import FlightRecorder, active_recorders, redact
+from repro.telemetry.runs import run_seeded_migration
+
+from tests.conftest import build_counter_app
+
+
+def _crashed_run(plan, **testbed_kwargs):
+    tb = build_testbed(seed=4000 + plan.seed, **testbed_kwargs)
+    app = build_counter_app(tb, tag="flight")
+    app.ecall_once(0, "incr", 5)
+    orch = MigrationOrchestrator(
+        tb, retry=FAULT_TOLERANT_RETRY, faults=FaultInjector(plan)
+    )
+    try:
+        orch.migrate_enclave(app)
+    except (MachineCrash, MigrationAborted, PartyCrash):
+        pass
+    return tb
+
+
+class TestRings:
+    def test_rings_are_bounded(self):
+        tb = build_testbed(seed=11)
+        recorder = FlightRecorder(tb.telemetry, capacity=16)
+        for i in range(200):
+            tb.trace.emit("test", "tick", party="source", i=i)
+        ring = recorder.rings["source"]
+        assert len(ring) == 16
+        assert ring[-1]["payload"]["i"] == 199  # newest survive
+
+    def test_events_partition_by_party(self):
+        tb = run_seeded_migration(seed=1)
+        recorder = tb.telemetry.flightrecorder
+        assert "source" in recorder.rings and "target" in recorder.rings
+        assert "wire" in recorder.rings  # net events have no party field
+
+    def test_recorder_registry_tracks_instances(self):
+        tb = build_testbed(seed=12)
+        assert tb.telemetry.flightrecorder in active_recorders()
+
+
+class TestAutoDump:
+    def test_injected_crash_triggers_a_dump(self):
+        tb = _crashed_run(FaultPlan(seed=1).crash("target", "restore"))
+        recorder = tb.telemetry.flightrecorder
+        assert recorder.dumps, "a MachineCrash must auto-dump"
+        dump = recorder.dumps[-1]
+        assert dump["trigger"] == "fault.crash"
+        assert dump["event"]["payload"]["step"] == "restore"
+        assert dump["trace_id"] == tb.telemetry.tracer.trace_id
+
+    def test_dump_carries_correlated_state(self):
+        tb = _crashed_run(FaultPlan(seed=2).crash("source", "checkpoint"))
+        dump = tb.telemetry.flightrecorder.dumps[-1]
+        assert dump["rings"]  # at least one party observed something
+        assert any(s["name"] == "migration.run" for s in dump["open_spans"])
+        assert "migration.attempts_total" in dump["metrics"]
+
+    def test_dump_count_is_bounded(self):
+        tb = build_testbed(seed=13)
+        recorder = tb.telemetry.flightrecorder
+        recorder.max_dumps = 3
+        for i in range(10):
+            recorder.dump(trigger=f"manual-{i}")
+        assert len(recorder.dumps) == 3
+        assert recorder.dumps[-1]["trigger"] == "manual-9"
+
+
+class TestRedaction:
+    def test_redact_strips_bytes_recursively(self):
+        value = {"sealed": b"\x00" * 64, "nested": [b"abc", {"k": b"xy"}], "n": 3}
+        cleaned = redact(value)
+        assert cleaned["sealed"] == "<redacted: 64 bytes>"
+        assert cleaned["nested"][0] == "<redacted: 3 bytes>"
+        assert cleaned["nested"][1]["k"] == "<redacted: 2 bytes>"
+        assert cleaned["n"] == 3
+
+    def test_no_payload_bytes_survive_into_a_dump(self):
+        tb = _crashed_run(FaultPlan(seed=3).crash("target", "restore"))
+        # An event that *does* carry raw bytes must enter the ring redacted.
+        tb.trace.emit("test", "leaky", party="source", sealed=b"\x13" * 32)
+        dump = tb.telemetry.flightrecorder.dump(trigger="manual")
+        text = json.dumps(dump, sort_keys=True, default=repr)
+        # Sealed checkpoint/key material crossed the wire during this
+        # run; none of those bytes may appear in the dump, only sizes.
+        assert "b'\\x" not in text  # no repr()d raw byte strings
+        assert "<redacted: 32 bytes>" in text
+        for record in tb.network.log:
+            if len(record.payload) >= 16:
+                assert record.payload.hex() not in text
+                assert repr(record.payload)[2:-1] not in text
+
+    def test_dump_file_written_when_dir_configured(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FLIGHT_DIR", str(tmp_path))
+        tb = _crashed_run(FaultPlan(seed=4).crash("target", "restore"))
+        files = sorted(tmp_path.glob("flight-*.json"))
+        assert files, "REPRO_FLIGHT_DIR must receive a JSON dump per trigger"
+        with open(files[-1], "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        assert payload["trigger"] == "fault.crash"
+        recorder = tb.telemetry.flightrecorder
+        assert recorder.dump_dir == str(tmp_path)

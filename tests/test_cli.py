@@ -162,3 +162,38 @@ class TestTelemetryCli:
         assert report["outcome"] == "completed"
         assert report["invariants_clean"] is True
         assert report["live_instances"] == 1
+
+
+class TestExplainCli:
+    def test_explain_text_report(self, capsys):
+        assert main(["explain"]) == 0
+        out = capsys.readouterr().out
+        assert "migration critical path" in out
+        assert "100.0%" in out
+        assert "migration.stop_and_copy" in out
+
+    def test_explain_json_is_deterministic(self, capsys):
+        assert main(["explain", "--format", "json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["explain", "--format", "json"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        report = json.loads(first)
+        for anchor in (report["total"], report["downtime"]):
+            assert anchor["attributed_ns"] == anchor["total_ns"]
+
+    def test_explain_chrome_overlay(self, capsys, tmp_path):
+        out_path = tmp_path / "explain.json"
+        assert main(["explain", "--format", "chrome", "--out", str(out_path)]) == 0
+        doc = json.loads(out_path.read_text())
+        assert any(
+            e.get("ph") == "X" and e.get("cat") == "critical-path"
+            for e in doc["traceEvents"]
+        )
+
+    def test_explain_require_blame_present(self, capsys):
+        assert main(["explain", "--require-blame", "stop_and_copy"]) == 0
+
+    def test_explain_require_blame_missing_fails(self, capsys):
+        assert main(["explain", "--require-blame", "no-such-unit"]) == 1
+        assert "not on any blame path" in capsys.readouterr().out
