@@ -34,6 +34,7 @@ def write_bench_json(figure: str, series: dict) -> str:
     the others, and the file diffs cleanly across runs.
     """
     path = bench_json_path(figure)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
     payload: dict = {}
     if os.path.exists(path):
         try:

@@ -19,6 +19,14 @@ real, test-vector-verified algorithms, plus the supporting primitives:
 
 from repro.crypto.aes import Aes128
 from repro.crypto.authenc import CIPHER_NAMES, open_envelope, seal_envelope
+from repro.crypto.backend import (
+    BACKEND_NAMES,
+    CryptoBackend,
+    get_backend,
+    make_backend,
+    set_backend,
+    use_backend,
+)
 from repro.crypto.des import Des
 from repro.crypto.dh import DhKeyExchange
 from repro.crypto.hashes import hkdf, hmac_sha256, sha256
@@ -28,8 +36,14 @@ from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey, generate_rsa_keypair
 
 __all__ = [
     "Aes128",
+    "BACKEND_NAMES",
     "CIPHER_NAMES",
+    "CryptoBackend",
     "Des",
+    "get_backend",
+    "make_backend",
+    "set_backend",
+    "use_backend",
     "DhKeyExchange",
     "KeyPair",
     "Rc4",

@@ -17,12 +17,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.crypto.aes import Aes128
-from repro.crypto.des import Des
+from repro.crypto.backend import CryptoBackend, get_backend
 from repro.crypto.hashes import constant_time_equal, hmac_sha256, sha256
 from repro.crypto.keys import SymmetricKey
-from repro.crypto.modes import cbc_decrypt, cbc_encrypt, ctr_process
-from repro.crypto.rc4 import Rc4
 from repro.errors import CryptoError, IntegrityError
 
 CIPHER_NAMES = ("rc4", "des", "aes", "aes-ni", "aes-cbc")
@@ -85,18 +82,26 @@ class Envelope:
         return len(self.to_bytes())
 
 
-def _cipher_process(algorithm: str, key: bytes, nonce: bytes, data: bytes, encrypt: bool) -> bytes:
+def _cipher_process(
+    algorithm: str,
+    key: bytes,
+    nonce: bytes,
+    data: bytes,
+    encrypt: bool,
+    backend: CryptoBackend | None = None,
+) -> bytes:
+    b = backend if backend is not None else get_backend()
     if algorithm == "rc4":
         # RC4 has no nonce input; bind the nonce into the stream key.
-        return Rc4(sha256(key + nonce)).process(data)
+        return b.rc4(sha256(key + nonce), data)
     if algorithm == "des":
-        return ctr_process(Des(sha256(key)[:8]), nonce[:4], data)
+        return b.des_ctr(sha256(key)[:8], nonce[:4], data)
     if algorithm in ("aes", "aes-ni"):
-        return ctr_process(Aes128(sha256(key)[:16]), nonce[:8], data)
+        return b.aes_ctr(sha256(key)[:16], nonce[:8], data)
     if algorithm == "aes-cbc":
-        cipher = Aes128(sha256(key)[:16])
+        key16 = sha256(key)[:16]
         iv = sha256(nonce)[:16]
-        return cbc_encrypt(cipher, iv, data) if encrypt else cbc_decrypt(cipher, iv, data)
+        return b.aes_cbc_encrypt(key16, iv, data) if encrypt else b.aes_cbc_decrypt(key16, iv, data)
     raise CryptoError(f"unknown cipher algorithm: {algorithm!r}")
 
 

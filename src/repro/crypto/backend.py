@@ -1,0 +1,245 @@
+"""Pluggable crypto backends: a pure-Python reference oracle and a fast path.
+
+Every symmetric-cipher operation on the checkpoint hot path (envelope
+sealing, MEE page sealing, the SGX-v2 migratable-page stream) goes through
+one :class:`CryptoBackend`.  Two implementations exist:
+
+* ``reference`` — this repository's from-scratch ciphers, invoked exactly
+  as the original call sites did (fresh cipher object per operation).  It
+  is the correctness oracle: slow, obvious, test-vector-verified.
+* ``fast`` — byte-identical output, produced cheaply: cipher objects are
+  cached per key instead of rebuilt per page, and when the optional
+  ``cryptography`` package is importable the AES-CTR / AES-CBC / RC4
+  work is delegated to OpenSSL.  Without ``cryptography`` the fast
+  backend still wins by amortizing key schedules and batching XORs.
+
+The backend changes *wall-clock* cost only.  Virtual (modelled) time is
+charged by :class:`repro.sim.costs.CostModel` per algorithm and is
+identical under both backends — as are all wire bytes, journal entries
+and enclave state, which ``tests/crypto/test_backend_oracle.py`` and
+``tests/integration/test_backend_differential.py`` prove.
+
+Selection: ``REPRO_CRYPTO_BACKEND=reference|fast`` (default ``fast``),
+or programmatically via :func:`set_backend` / :func:`use_backend`.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.crypto.aes import Aes128
+from repro.crypto.des import Des
+from repro.crypto.modes import cbc_decrypt, cbc_encrypt, ctr_process, pkcs7_pad, pkcs7_unpad
+from repro.crypto.rc4 import Rc4
+from repro.errors import CryptoError
+
+BACKEND_ENV = "REPRO_CRYPTO_BACKEND"
+BACKEND_NAMES = ("reference", "fast")
+
+_COUNTER_LIMIT = 1 << 64
+
+try:  # optional accelerator; never a hard dependency
+    from cryptography.hazmat.primitives.ciphers import Cipher, algorithms, modes as _cg_modes
+
+    try:  # moved to `decrepit` in cryptography >= 43
+        from cryptography.hazmat.decrepit.ciphers.algorithms import ARC4 as _CgArc4
+    except ImportError:  # pragma: no cover - older cryptography layouts
+        _CgArc4 = getattr(algorithms, "ARC4", None)
+    _HAVE_CRYPTOGRAPHY = True
+except ImportError:  # pragma: no cover - stdlib-only environments
+    Cipher = algorithms = _cg_modes = _CgArc4 = None
+    _HAVE_CRYPTOGRAPHY = False
+
+
+class CryptoBackend:
+    """Uniform symmetric-cipher interface the hot paths call into.
+
+    All methods are deterministic functions of their inputs; the two
+    implementations below must agree byte-for-byte on every one.
+    """
+
+    name = "abstract"
+
+    # RC4 has no nonce; callers bind context into the stream key themselves.
+    def rc4(self, stream_key: bytes, data: bytes) -> bytes:
+        raise NotImplementedError
+
+    def des_ctr(self, key8: bytes, nonce: bytes, data: bytes, first_counter: int = 0) -> bytes:
+        raise NotImplementedError
+
+    def aes_ctr(self, key16: bytes, nonce: bytes, data: bytes, first_counter: int = 0) -> bytes:
+        raise NotImplementedError
+
+    def aes_cbc_encrypt(self, key16: bytes, iv: bytes, data: bytes) -> bytes:
+        raise NotImplementedError
+
+    def aes_cbc_decrypt(self, key16: bytes, iv: bytes, data: bytes) -> bytes:
+        raise NotImplementedError
+
+
+class ReferenceBackend(CryptoBackend):
+    """The original pure-Python call sites, verbatim: the oracle."""
+
+    name = "reference"
+
+    def rc4(self, stream_key: bytes, data: bytes) -> bytes:
+        return Rc4(stream_key).process(data)
+
+    def des_ctr(self, key8: bytes, nonce: bytes, data: bytes, first_counter: int = 0) -> bytes:
+        return ctr_process(Des(key8), nonce, data, first_counter)
+
+    def aes_ctr(self, key16: bytes, nonce: bytes, data: bytes, first_counter: int = 0) -> bytes:
+        return ctr_process(Aes128(key16), nonce, data, first_counter)
+
+    def aes_cbc_encrypt(self, key16: bytes, iv: bytes, data: bytes) -> bytes:
+        return cbc_encrypt(Aes128(key16), iv, data)
+
+    def aes_cbc_decrypt(self, key16: bytes, iv: bytes, data: bytes) -> bytes:
+        return cbc_decrypt(Aes128(key16), iv, data)
+
+
+class _KeyedCache:
+    """A small bounded cache of cipher objects keyed by key material.
+
+    Key schedules (AES round keys, DES PC-1/PC-2 subkeys) dominate the
+    per-page cost when the payload is a single 4 KB page; the hot paths
+    reuse a handful of long-lived keys, so a tiny cache removes the
+    rebuild entirely.
+    """
+
+    def __init__(self, factory, max_entries: int = 128) -> None:
+        self._factory = factory
+        self._max = max_entries
+        self._entries: dict[bytes, object] = {}
+
+    def get(self, key: bytes):
+        cipher = self._entries.get(key)
+        if cipher is None:
+            if len(self._entries) >= self._max:
+                self._entries.pop(next(iter(self._entries)))
+            cipher = self._factory(key)
+            self._entries[key] = cipher
+        return cipher
+
+
+class FastBackend(CryptoBackend):
+    """Byte-identical to the reference, built for throughput.
+
+    AES-CTR equivalence with OpenSSL: the reference builds counter blocks
+    ``nonce || big-endian-64(first_counter + i)`` for an 8-byte nonce, and
+    OpenSSL's CTR mode increments the whole 128-bit block — identical as
+    long as the low 64 bits never wrap, which :meth:`aes_ctr` checks and
+    otherwise falls back to the reference construction.
+    """
+
+    name = "fast"
+
+    def __init__(self) -> None:
+        self._aes = _KeyedCache(Aes128)
+        self._des = _KeyedCache(Des)
+        self._arc4_broken = not _HAVE_CRYPTOGRAPHY or _CgArc4 is None
+
+    # ---------------------------------------------------------------- rc4
+    def rc4(self, stream_key: bytes, data: bytes) -> bytes:
+        if not self._arc4_broken and len(stream_key) * 8 in _CgArc4.key_sizes:
+            try:
+                encryptor = Cipher(_CgArc4(stream_key), mode=None).encryptor()
+                return encryptor.update(data)
+            except Exception:
+                # Some OpenSSL builds compile RC4 out; remember and fall back.
+                self._arc4_broken = True
+        stream = Rc4(stream_key).keystream(len(data))
+        return _xor(data, stream)
+
+    # ---------------------------------------------------------------- des
+    def des_ctr(self, key8: bytes, nonce: bytes, data: bytes, first_counter: int = 0) -> bytes:
+        # OpenSSL has no single-DES CTR; amortize the key schedule instead.
+        return ctr_process(self._des.get(key8), nonce, data, first_counter)
+
+    # ---------------------------------------------------------------- aes
+    def aes_ctr(self, key16: bytes, nonce: bytes, data: bytes, first_counter: int = 0) -> bytes:
+        n_blocks = (len(data) + 15) // 16
+        if (
+            _HAVE_CRYPTOGRAPHY
+            and len(nonce) == 8
+            and 0 <= first_counter
+            and first_counter + n_blocks < _COUNTER_LIMIT
+        ):
+            initial = nonce + first_counter.to_bytes(8, "big")
+            encryptor = Cipher(algorithms.AES(key16), _cg_modes.CTR(initial)).encryptor()
+            return encryptor.update(data)
+        return ctr_process(self._aes.get(key16), nonce, data, first_counter)
+
+    def aes_cbc_encrypt(self, key16: bytes, iv: bytes, data: bytes) -> bytes:
+        if _HAVE_CRYPTOGRAPHY:
+            padded = pkcs7_pad(data, 16)
+            encryptor = Cipher(algorithms.AES(key16), _cg_modes.CBC(iv)).encryptor()
+            return encryptor.update(padded) + encryptor.finalize()
+        return cbc_encrypt(self._aes.get(key16), iv, data)
+
+    def aes_cbc_decrypt(self, key16: bytes, iv: bytes, data: bytes) -> bytes:
+        if _HAVE_CRYPTOGRAPHY:
+            if len(data) % 16 != 0:
+                raise CryptoError("ciphertext length is not a multiple of block size")
+            decryptor = Cipher(algorithms.AES(key16), _cg_modes.CBC(iv)).decryptor()
+            padded = decryptor.update(data) + decryptor.finalize()
+            return pkcs7_unpad(padded, 16)
+        return cbc_decrypt(self._aes.get(key16), iv, data)
+
+
+def _xor(data: bytes, stream: bytes) -> bytes:
+    """Batched XOR of two equal-length byte strings."""
+    if not data:
+        return b""
+    n = len(data)
+    return (int.from_bytes(data, "big") ^ int.from_bytes(stream, "big")).to_bytes(n, "big")
+
+
+# ---------------------------------------------------------------- registry
+_ACTIVE: CryptoBackend | None = None
+
+
+def make_backend(name: str) -> CryptoBackend:
+    """Construct a fresh backend by name."""
+    if name == "reference":
+        return ReferenceBackend()
+    if name == "fast":
+        return FastBackend()
+    raise CryptoError(f"unknown crypto backend: {name!r} (expected one of {BACKEND_NAMES})")
+
+
+def get_backend() -> CryptoBackend:
+    """The active backend; first use reads ``REPRO_CRYPTO_BACKEND``."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = make_backend(os.environ.get(BACKEND_ENV, "fast"))
+    return _ACTIVE
+
+
+def set_backend(backend: CryptoBackend | str | None) -> CryptoBackend | None:
+    """Install a backend (by instance or name); returns the previous one.
+
+    ``None`` resets to unselected so the next :func:`get_backend` call
+    re-reads the environment.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    if backend is None:
+        _ACTIVE = None
+    elif isinstance(backend, str):
+        _ACTIVE = make_backend(backend)
+    else:
+        _ACTIVE = backend
+    return previous
+
+
+@contextmanager
+def use_backend(backend: CryptoBackend | str) -> Iterator[CryptoBackend]:
+    """Temporarily switch backends (tests and the differential harness)."""
+    previous = set_backend(backend)
+    try:
+        yield get_backend()
+    finally:
+        set_backend(previous)

@@ -66,7 +66,7 @@ class Journal:
         self.party = party
 
     # ----------------------------------------------------------------- write
-    def append(self, kind: str, payload: Any = None) -> int:
+    def append(self, kind: str, payload: Any = None, defer_charge: bool = False) -> int:
         """Commit one record; returns its counter value.
 
         The record is durable the moment the monotonic counter is bumped.
@@ -78,13 +78,19 @@ class Journal:
         to the virtual clock and report ``journal.commit_latency_ns`` /
         ``journal.appends_total`` per party — journal commits sit on the
         migration hot path, so their cost must show up in the figures.
+
+        ``defer_charge=True`` skips the clock charge: an fsync blocks
+        only the committing thread, so a cost-yielding caller (the
+        control thread's checkpoint generator) yields the commit cost to
+        the scheduler instead, letting other VCPUs keep running through
+        the I/O wait rather than modelling it as a stop-the-world stall.
         """
         start_ns = self.store.clock.now_ns if self.store.clock is not None else None
         counter = self.store.counter(self.name) + 1
         body = serde.pack({"c": counter, "k": kind, "p": payload})
         frame = _FRAME_HEADER.pack(len(body), zlib.crc32(body)) + body
         self.store.log(self.name).extend(frame)
-        if self.store.clock is not None and self.store.commit_cost_ns:
+        if not defer_charge and self.store.clock is not None and self.store.commit_cost_ns:
             self.store.clock.advance(self.store.commit_cost_ns)
         self.store.counter_bump(self.name)
         if getattr(self.store, "trace", None) is not None:
@@ -102,9 +108,14 @@ class Journal:
         if self.store.metrics is not None:
             self.store.metrics.counter("journal.appends_total", party=self.party).inc()
             if start_ns is not None:
+                elapsed = self.store.clock.now_ns - start_ns
+                if defer_charge:
+                    # The caller yields the commit cost to the scheduler;
+                    # record the modelled latency it will experience.
+                    elapsed += self.store.commit_cost_ns
                 self.store.metrics.histogram(
                     "journal.commit_latency_ns", party=self.party
-                ).observe(self.store.clock.now_ns - start_ns)
+                ).observe(elapsed)
         if self.store.injector is not None:
             self.store.injector.record_appended(self.party, self.name, counter)
         return counter

@@ -71,6 +71,17 @@ class QemuMonitor:
         self.clock.advance(dt)
         return dt
 
+    def _delta_wire_bytes(self, n_pages: int) -> int:
+        """Wire cost of ``n_pages`` re-dirtied pages sent as deltas.
+
+        Every page reaching rounds >= 2 (and the stop-and-copy residual)
+        was already shipped in full during round 1, so the target holds a
+        base copy to patch: the sender transmits an XOR+RLE delta plus a
+        small per-page header instead of the whole 4 KB.
+        """
+        per_page = int(PAGE_SIZE * self.costs.precopy_delta_ratio)
+        return n_pages * (per_page + self.costs.delta_page_header_bytes)
+
     def migrate(
         self,
         vm: Vm,
@@ -78,8 +89,15 @@ class QemuMonitor:
         restore_hook: Callable[[], None] | None = None,
         downtime_target_bytes: int = 256 * 1024,
         max_rounds: int = 16,
+        delta_encoding: bool = True,
     ) -> MigrationReport:
-        """Live-migrate ``vm`` to the target host (shared storage model)."""
+        """Live-migrate ``vm`` to the target host (shared storage model).
+
+        ``delta_encoding`` sends re-dirtied pages (rounds >= 2 and the
+        stop-and-copy residual) as deltas against the target's base copy
+        instead of full pages; disable it to reproduce the classic
+        full-page pre-copy loop.
+        """
         if vm.paused:
             raise HypervisorError("cannot migrate a paused VM")
         start_ns = self.clock.now_ns
@@ -116,16 +134,29 @@ class QemuMonitor:
                 dt = self._transfer(to_send_bytes)
             transferred += to_send_bytes
             vm.memory.advance(dt)  # guest keeps dirtying during the copy
-            pending = vm.memory.dirty_pages * PAGE_SIZE
+            pending_pages = vm.memory.dirty_pages
+            if delta_encoding:
+                # Re-dirtied pages would ship as deltas, so the stop
+                # criterion compares their *wire* cost to the target.
+                pending = self._delta_wire_bytes(pending_pages)
+            else:
+                pending = pending_pages * PAGE_SIZE
             if pending <= downtime_target_bytes or rounds >= max_rounds:
                 break
-            to_send_bytes = vm.memory.take_dirty() * PAGE_SIZE
+            dirty = vm.memory.take_dirty()
+            to_send_bytes = self._delta_wire_bytes(dirty) if delta_encoding else dirty * PAGE_SIZE
 
         # Stop-and-copy: pause, ship the residual dirty set + CPU state.
         vm.pause()
         stop_start = self.clock.now_ns
         with maybe_span(self.trace, "vm.stop_and_copy", party="source", vm=vm.name):
-            residual = vm.memory.take_dirty() * PAGE_SIZE + _VCPU_STATE_BYTES
+            residual_pages = vm.memory.take_dirty()
+            residual_page_bytes = (
+                self._delta_wire_bytes(residual_pages)
+                if delta_encoding
+                else residual_pages * PAGE_SIZE
+            )
+            residual = residual_page_bytes + _VCPU_STATE_BYTES
             self._transfer(residual)
             transferred += residual
         stop_ns = self.clock.now_ns - stop_start

@@ -109,6 +109,10 @@ class Network:
         """
         if self.injector is not None:
             self.injector.link_check(label)
+        if not isinstance(payload, bytes):
+            # Accept bytes-like senders (memoryview/bytearray framing);
+            # materialize once here so taps and the log see stable bytes.
+            payload = bytes(payload)
         n = len(payload)
         record = self._stamp(label, n, payload, wan)
         if wan:

@@ -197,11 +197,17 @@ def generate_checkpoint(
     # Durability: the sealed envelope is ciphertext the host sees anyway;
     # K_migrate goes into the record sealed under this enclave's own
     # EGETKEY key, so only a same-measurement rebuild can ever read it.
-    rt.journal_record(
+    # The fsync blocks this control thread, not the machine: defer the
+    # commit cost into a yield so concurrent checkpointers overlap their
+    # journal waits instead of serializing on a stop-the-world charge.
+    commit_wait_ns = rt.journal_record(
         "checkpoint",
         {"sequence": sequence, "envelope": envelope.to_bytes()},
         secret={"kmigrate": kmigrate.material, "sequence": sequence},
+        defer_charge=True,
     )
+    if commit_wait_ns:
+        yield commit_wait_ns
     return CheckpointResult(
         envelope=envelope,
         memory_bytes=body_len,

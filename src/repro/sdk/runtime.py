@@ -294,7 +294,9 @@ class EnclaveRuntime:
         self._ocall_table = dict(table)
 
     # ------------------------------------------------------------ durability
-    def journal_record(self, kind: str, payload: dict | None = None, secret=None) -> None:
+    def journal_record(
+        self, kind: str, payload: dict | None = None, secret=None, defer_charge: bool = False
+    ) -> int:
         """Append one write-ahead record for this enclave's party.
 
         ``payload`` goes to the (untrusted) log in the clear — it must
@@ -303,13 +305,21 @@ class EnclaveRuntime:
         sealing key first (MRENCLAVE policy: only a same-measurement
         enclave on this CPU can unseal it after a crash) and stored as
         ``payload["sealed"]``.  No-op when journaling is off.
+
+        With ``defer_charge=True`` the modelled fsync cost is returned
+        (instead of charged to the clock) so a cost-yielding caller can
+        yield it — the commit then blocks only this thread, not every
+        VCPU.  Returns 0 otherwise.
         """
         if self._journal is None:
-            return
+            return 0
         if secret is not None:
             payload = dict(payload or {})
             payload["sealed"] = self.journal_seal(secret)
-        self._journal.append(kind, payload)
+        self._journal.append(kind, payload, defer_charge=defer_charge)
+        if defer_charge:
+            return int(self._journal.store.commit_cost_ns or 0)
+        return 0
 
     def journal_seal(self, value) -> bytes:
         """Seal a serde value for journal storage (crash-survivable)."""

@@ -12,7 +12,7 @@ enclave memory.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import SgxEpcExhausted, SgxInstructionFault
@@ -30,21 +30,36 @@ class EpcmEntry:
     permissions: Permissions = Permissions.NONE
 
 
-@dataclass
 class EpcPage:
     """One 4 KB EPC page.
 
     ``data`` holds the byte content of REG pages.  SECS/TCS/VA pages carry
     a hardware object in ``hw_object`` instead (their content is never
-    software-visible, so bytes would buy nothing but overhead).
+    software-visible, so bytes would buy nothing but overhead).  The
+    backing bytearray is allocated on first touch: a large EPC is mostly
+    never-used zero pages, and allocating them eagerly costs seconds of
+    real time per testbed.
     """
 
-    index: int
-    data: bytearray = field(default_factory=lambda: bytearray(PAGE_SIZE))
-    hw_object: Any = None
+    __slots__ = ("index", "_data", "hw_object")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self._data: bytearray | None = None
+        self.hw_object: Any = None
+
+    @property
+    def data(self) -> bytearray:
+        if self._data is None:
+            self._data = bytearray(PAGE_SIZE)
+        return self._data
+
+    @data.setter
+    def data(self, value: bytearray) -> None:
+        self._data = value
 
     def wipe(self) -> None:
-        self.data = bytearray(PAGE_SIZE)
+        self._data = None
         self.hw_object = None
 
 

@@ -13,10 +13,9 @@ paper's software protocol.
 
 from __future__ import annotations
 
-from repro.crypto.aes import Aes128
+from repro.crypto.backend import get_backend
 from repro.crypto.hashes import constant_time_equal, hmac_sha256
 from repro.crypto.keys import SymmetricKey
-from repro.crypto.modes import ctr_process
 from repro.errors import SgxMacMismatch
 from repro.sgx.structures import EvictedPage, PageType, Permissions
 
@@ -49,8 +48,9 @@ class MemoryEncryptionEngine:
         version: int,
     ) -> EvictedPage:
         """Produce the sealed image EWB writes to normal memory."""
-        cipher = Aes128(self._enc_key.material[:16])
-        ciphertext = ctr_process(cipher, self._nonce(eid, vaddr, version), plaintext)
+        ciphertext = get_backend().aes_ctr(
+            self._enc_key.material[:16], self._nonce(eid, vaddr, version), plaintext
+        )
         mac = hmac_sha256(
             self._mac_key.material, self._aad(eid, vaddr, page_type, version) + ciphertext
         )
@@ -82,7 +82,8 @@ class MemoryEncryptionEngine:
         )
         if not constant_time_equal(expected_mac, evicted.mac):
             raise SgxMacMismatch("evicted page MAC check failed (wrong CPU or tampering)")
-        cipher = Aes128(self._enc_key.material[:16])
-        return ctr_process(
-            cipher, self._nonce(evicted.eid, evicted.vaddr, evicted.version), evicted.ciphertext
+        return get_backend().aes_ctr(
+            self._enc_key.material[:16],
+            self._nonce(evicted.eid, evicted.vaddr, evicted.version),
+            evicted.ciphertext,
         )

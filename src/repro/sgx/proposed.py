@@ -147,11 +147,9 @@ def _seal(state: _MigrationState, kind: str, vaddr: int, plaintext: bytes) -> Mi
     seq = state.seq
     state.seq += 1
     nonce = seq.to_bytes(8, "big")
-    from repro.crypto.aes import Aes128
-    from repro.crypto.modes import ctr_process
+    from repro.crypto.backend import get_backend
 
-    cipher = Aes128(state.keys.encryption.material[:16])
-    ciphertext = ctr_process(cipher, nonce, plaintext)
+    ciphertext = get_backend().aes_ctr(state.keys.encryption.material[:16], nonce, plaintext)
     aad = kind.encode() + vaddr.to_bytes(8, "big") + nonce
     mac = hmac_sha256(state.keys.signing.material, aad + ciphertext)
     state.stream_hash.update(mac)
@@ -164,11 +162,9 @@ def _unseal(keys: MigrationKeys, page: MigratablePage) -> bytes:
     expected = hmac_sha256(keys.signing.material, aad + page.ciphertext)
     if not constant_time_equal(expected, page.mac):
         raise SgxMacMismatch("migratable page MAC check failed")
-    from repro.crypto.aes import Aes128
-    from repro.crypto.modes import ctr_process
+    from repro.crypto.backend import get_backend
 
-    cipher = Aes128(keys.encryption.material[:16])
-    return ctr_process(cipher, nonce, page.ciphertext)
+    return get_backend().aes_ctr(keys.encryption.material[:16], nonce, page.ciphertext)
 
 
 def eswpout_secs(cpu: SgxCpu, enclave: EnclaveHw) -> MigratablePage:

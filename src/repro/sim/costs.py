@@ -71,6 +71,15 @@ class CostModel:
     net_bandwidth_bytes_per_s: int = 37_500_000  # 300 Mbit/s effective
     net_latency_ns: int = 250_000  # one-way, same rack
 
+    # -- pre-copy delta encoding ----------------------------------------------
+    # A page re-dirtied after its first full send ships as an XOR+RLE
+    # delta against the copy the target already holds.  The ratio is the
+    # wire bytes of such a delta as a fraction of the full page; guest
+    # writers touch a few cache lines per re-dirtied page, so deltas
+    # compress well (see docs/CALIBRATION.md for the measurement).
+    precopy_delta_ratio: float = 0.32
+    delta_page_header_bytes: int = 16  # page number + run table per delta
+
     # -- wide-area paths used by attestation ----------------------------------
     wan_latency_ns: int = 18_000_000  # one-way to owner / IAS
     ias_processing_ns: int = 5_000_000

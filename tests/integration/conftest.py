@@ -1,0 +1,30 @@
+"""Integration-suite fixtures: every scenario runs under both backends.
+
+The fault matrix, crash sweep and end-to-end protocol tests exercise the
+recovery paths that differential single-run tests cannot reach (retries,
+partitions, journal replay after crashes).  Parametrizing the whole
+directory over the crypto backends proves those paths are backend-clean
+too — a resilience bug that only reproduces under the fast backend's
+cached ciphers would surface here.
+
+``REPRO_CRYPTO_BACKEND_PARAM=reference|fast`` pins a single leg (the CI
+backend matrix uses it so each job runs its own backend exactly once).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.crypto.backend import BACKEND_NAMES, use_backend
+
+_pinned = os.environ.get("REPRO_CRYPTO_BACKEND_PARAM")
+_params = (_pinned,) if _pinned in BACKEND_NAMES else BACKEND_NAMES
+
+
+@pytest.fixture(autouse=True, params=_params)
+def crypto_backend(request):
+    """Run each integration test once per crypto backend."""
+    with use_backend(request.param) as backend:
+        yield backend

@@ -195,14 +195,15 @@ class TestNoFaultRegression:
             assert tb_seed.network.captured(label) == tb_res.network.captured(label)
 
         # The chunk stream carries exactly the seed checkpoint envelope.
-        from repro.serde import unpack
+        from repro.migration.checkpoint import ChunkReassembler
 
         frames = tb_res.network.captured("checkpoint-chunk")
         assert len(frames) > 1  # it actually chunked
-        chunks = sorted((unpack(f)["seq"], unpack(f)["data"]) for f in frames)
-        reassembled = b"".join(data for _, data in chunks)
+        reassembler = ChunkReassembler()
+        for frame in frames:
+            reassembler.accept(frame)
         (seed_blob,) = tb_seed.network.captured("checkpoint")
-        assert reassembled == seed_blob
+        assert reassembler.assemble() == seed_blob
 
     def test_no_fault_run_reports_clean_stats(self):
         tb, app, orch, outcome = _run(FaultPlan(seed=FAULT_SEED))

@@ -73,7 +73,10 @@ class TestHappyPath:
     def test_checkpoint_bytes_reported(self, testbed, orch):
         app = build_counter_app(testbed, tag="bytes")
         result = orch.migrate_enclave(app)
-        assert result.checkpoint_bytes > 30 * 4096  # tens of pages, sealed
+        # The sealed blob must carry at least the raw bytes of the app's
+        # ~22 readable pages (the compact v2 body ships pages raw, so the
+        # envelope is only slightly larger than the page content itself).
+        assert result.checkpoint_bytes > 22 * 4096
         assert result.transferred_bytes >= result.checkpoint_bytes
 
 

@@ -1,0 +1,145 @@
+"""Unit tests for the benchmark regression ratchet comparator."""
+
+from __future__ import annotations
+
+import json
+import sys
+import os
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "scripts"))
+
+from bench_ratchet import compare_series, main, run_ratchet  # noqa: E402
+
+
+BASELINE = {
+    "fig9c": {
+        "unit": "us",
+        "series": "avg checkpoint",
+        "avg_checkpoint_us": {"1": 500.0, "8": 1200.0},
+    }
+}
+
+
+def _fresh(one: float, eight: float) -> dict:
+    return {
+        "fig9c": {
+            "unit": "us",
+            "series": "avg checkpoint",
+            "avg_checkpoint_us": {"1": one, "8": eight},
+        }
+    }
+
+
+class TestComparator:
+    def test_within_tolerance_is_ok(self):
+        findings = compare_series(BASELINE, _fresh(550.0, 1300.0), 0.15)
+        assert all(f["status"] == "ok" for f in findings)
+
+    def test_regression_flagged_beyond_tolerance(self):
+        findings = compare_series(BASELINE, _fresh(500.0, 1500.0), 0.15)
+        by_metric = {f["metric"]: f for f in findings}
+        assert by_metric["fig9c/avg_checkpoint_us/8"]["status"] == "regressed"
+        assert by_metric["fig9c/avg_checkpoint_us/8"]["delta_pct"] == 25.0
+        assert by_metric["fig9c/avg_checkpoint_us/1"]["status"] == "ok"
+
+    def test_improvement_reported_not_failed(self):
+        findings = compare_series(BASELINE, _fresh(250.0, 600.0), 0.15)
+        assert all(f["status"] == "improved" for f in findings)
+
+    def test_missing_metric_fails(self):
+        fresh = {"fig9c": {"avg_checkpoint_us": {"1": 500.0}}}
+        findings = compare_series(BASELINE, fresh, 0.15)
+        statuses = {f["metric"]: f["status"] for f in findings}
+        assert statuses["fig9c/avg_checkpoint_us/8"] == "missing"
+
+    def test_frozen_series_not_regenerated_is_not_a_failure(self):
+        """Frozen records (e.g. fig9c_before_hot_path_fix) live only in
+        the committed baseline; a fresh bench run never rewrites them.
+        An entire series absent from the fresh tree is informational,
+        while a data point vanishing *inside* a regenerated series still
+        fails (covered by test_missing_metric_fails)."""
+        baseline = BASELINE | {
+            "fig9c_before_hot_path_fix": {"avg_checkpoint_us": {"8": 3003.0}}
+        }
+        findings = compare_series(baseline, _fresh(500.0, 1200.0), 0.15)
+        statuses = {f["metric"]: f["status"] for f in findings}
+        assert (
+            statuses["fig9c_before_hot_path_fix/avg_checkpoint_us/8"]
+            == "not-regenerated"
+        )
+        bad = [f for f in findings if f["status"] in ("regressed", "missing")]
+        assert not bad
+
+    def test_new_metric_is_informational(self):
+        findings = compare_series(BASELINE, _fresh(500.0, 1200.0) | {"extra": 1.0}, 0.15)
+        statuses = {f["metric"]: f["status"] for f in findings}
+        assert statuses["extra"] == "new"
+
+    def test_unit_and_series_annotations_ignored(self):
+        findings = compare_series(BASELINE, _fresh(500.0, 1200.0), 0.15)
+        assert not any("unit" in f["metric"] or "series" in f["metric"] for f in findings)
+
+
+class TestRunRatchet:
+    def _write(self, directory, payload):
+        path = directory / "BENCH_fig9.json"
+        path.write_text(json.dumps(payload))
+        return str(directory)
+
+    def test_end_to_end_ok(self, tmp_path):
+        base_dir = tmp_path / "base"
+        fresh_dir = tmp_path / "fresh"
+        base_dir.mkdir(), fresh_dir.mkdir()
+        self._write(base_dir, BASELINE)
+        self._write(fresh_dir, _fresh(510.0, 1190.0))
+        report = run_ratchet(("fig9",), str(base_dir), str(fresh_dir), 0.15)
+        assert not report["failed"]
+        assert report["figures"]["fig9"]["status"] == "ok"
+
+    def test_end_to_end_regression_fails_cli(self, tmp_path):
+        base_dir = tmp_path / "base"
+        fresh_dir = tmp_path / "fresh"
+        base_dir.mkdir(), fresh_dir.mkdir()
+        self._write(base_dir, BASELINE)
+        self._write(fresh_dir, _fresh(900.0, 1200.0))
+        report_path = tmp_path / "report.json"
+        code = main(
+            [
+                "--figure", "fig9",
+                "--baseline-dir", str(base_dir),
+                "--fresh-dir", str(fresh_dir),
+                "--report", str(report_path),
+            ]
+        )
+        assert code == 1
+        report = json.loads(report_path.read_text())
+        assert report["failed"]
+
+    def test_missing_fresh_run_fails(self, tmp_path):
+        base_dir = tmp_path / "base"
+        fresh_dir = tmp_path / "fresh"
+        base_dir.mkdir(), fresh_dir.mkdir()
+        self._write(base_dir, BASELINE)
+        report = run_ratchet(("fig9",), str(base_dir), str(fresh_dir), 0.15)
+        assert report["failed"]
+        assert report["figures"]["fig9"]["status"] == "no-fresh-run"
+
+    def test_no_baseline_is_not_a_failure(self, tmp_path):
+        base_dir = tmp_path / "base"
+        fresh_dir = tmp_path / "fresh"
+        base_dir.mkdir(), fresh_dir.mkdir()
+        self._write(fresh_dir, _fresh(1.0, 2.0))
+        report = run_ratchet(("fig9",), str(base_dir), str(fresh_dir), 0.15)
+        assert not report["failed"]
+        assert report["figures"]["fig9"]["status"] == "no-baseline"
+
+
+def test_committed_baselines_pass_against_themselves():
+    """The repo's own BENCH files must ratchet cleanly against
+    themselves — a self-comparison that fails means the comparator or
+    the committed files are broken."""
+    repo_root = os.path.join(os.path.dirname(__file__), "..")
+    report = run_ratchet(baseline_dir=repo_root, fresh_dir=repo_root)
+    assert not report["failed"], report
