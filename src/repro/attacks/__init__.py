@@ -13,9 +13,19 @@ used by the security test suite and the examples:
   messages and checkpoints.
 * :mod:`repro.attacks.tamper`      — checkpoint bit-flips and truncation
   on the wire.
+* :mod:`repro.attacks.crossmig`    — cross-migration attacks on the
+  sealed-storage handoff: rollback, counter fork via the retired
+  source, stale-checkpoint restore, handoff replay.
 """
 
 from repro.attacks.consistency import run_consistency_scenario
+from repro.attacks.crossmig import (
+    run_counter_fork_attack,
+    run_cross_migration_matrix,
+    run_handoff_replay_attack,
+    run_stale_checkpoint_attack,
+    run_storage_rollback_attack,
+)
 from repro.attacks.fork import run_fork_scenario
 from repro.attacks.replay import run_replay_scenario
 from repro.attacks.rollback import run_rollback_scenario
@@ -23,8 +33,13 @@ from repro.attacks.tamper import run_tamper_scenario
 
 __all__ = [
     "run_consistency_scenario",
+    "run_counter_fork_attack",
+    "run_cross_migration_matrix",
     "run_fork_scenario",
+    "run_handoff_replay_attack",
     "run_replay_scenario",
     "run_rollback_scenario",
+    "run_stale_checkpoint_attack",
+    "run_storage_rollback_attack",
     "run_tamper_scenario",
 ]

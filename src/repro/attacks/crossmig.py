@@ -1,0 +1,297 @@
+"""Cross-migration attacks on the sealed-storage handoff, executable.
+
+Migratable sealed storage gives the untrusted operator a new toy box:
+the namespace blob sits on a disk the operator owns, the handoff blob
+crosses a network the operator runs, and "the same enclave" exists on
+two machines in sequence.  Each scenario here mounts one attack from
+that box and demands the same verdict the rest of the playbook demands:
+the attack is *detected and refused with a typed error* — never a
+silent success, never a fork, and the legitimate lineage keeps its
+state.
+
+* :func:`run_storage_rollback_attack`  — restore a stale sealed-table
+  blob after the storage migrated away and back; the monotonic version
+  counter must refuse it (:class:`~repro.errors.StorageRolledBack`).
+* :func:`run_counter_fork_attack`      — relaunch the image on the
+  retired source host and use its old namespace; the retired tombstone
+  must refuse it (:class:`~repro.errors.StorageRetired`) — while a
+  *legitimate* return migration un-retires the host.
+* :func:`run_stale_checkpoint_attack`  — a malicious migration driver
+  withholds the negotiated storage handoff, pairing a fresh checkpoint
+  with a stale (empty) namespace; the target must refuse to go live
+  (:class:`~repro.errors.StorageRolledBack`).
+* :func:`run_handoff_replay_attack`    — replay the captured handoff
+  blob at the target; the handoff sequence counter must refuse it
+  (:class:`~repro.errors.HandoffReplayed`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.durability import wal
+from repro.durability.sweep import COUNTER_START, build_sweep_app
+from repro.errors import (
+    HandoffReplayed,
+    SealedStorageError,
+    StorageRetired,
+    StorageRolledBack,
+)
+from repro.migration.chain import hop_view
+from repro.migration.orchestrator import MigrationOrchestrator
+from repro.migration.testbed import build_testbed
+from repro.sdk import control
+from repro.sdk.host import HostApplication
+
+
+@dataclass
+class CrossMigrationOutcome:
+    """One cross-migration attack's verdict."""
+
+    attack: str
+    #: The attack was refused with a typed error (never silently absorbed).
+    blocked: bool
+    #: Class name of the refusal, e.g. ``"StorageRolledBack"``.
+    refusal: str = ""
+    detail: str = ""
+    #: The legitimate instance still serves the correct workload +
+    #: storage state after the attack.
+    state_intact: bool = False
+
+
+def _put_secrets(app: HostApplication, upto: int) -> None:
+    for n in range(1, upto + 1):
+        app.library.control_call(control.storage_put, "failed-logins", n)
+
+
+def _storage_ok(app: HostApplication, expect: int) -> bool:
+    try:
+        counter = app.ecall_once(0, "read")
+        stored = app.library.control_call(control.storage_get, "failed-logins")
+    except SealedStorageError:
+        return False
+    return counter == COUNTER_START and stored == expect
+
+
+def run_storage_rollback_attack(seed: int | str = 41) -> CrossMigrationOutcome:
+    """Roll the source host's sealed table back across a migration cycle.
+
+    The operator snapshots the namespace blob at version 1, lets the
+    enclave advance to version 3, migrates it away and back (so the
+    namespace legitimately lives on the original host again), then
+    swaps in the stale snapshot.  The blob authenticates — it *is* a
+    genuine sealed table for this enclave on this CPU — but the version
+    counter has moved on, and the read must refuse.
+    """
+    tb = build_testbed(seed=seed)
+    app = build_sweep_app(tb)
+    ns = wal.storage_namespace(tb.source.name, app.image.name)
+
+    _put_secrets(app, 1)
+    stale_blob = bytes(tb.durable.log(ns))  # the operator's disk snapshot
+    _put_secrets(app, 3)
+
+    # Hop there and back: the namespace retires on the source, migrates
+    # to the target, and re-binds to the source on the return hop.
+    result = MigrationOrchestrator(hop_view(tb, 1)).migrate_enclave(app)
+    back = MigrationOrchestrator(hop_view(tb, 2)).migrate_enclave(result.target_app)
+    home = back.target_app
+
+    tb.durable.set_log(ns, stale_blob)  # the attack: restore the snapshot
+    try:
+        home.library.control_call(control.storage_get, "failed-logins")
+    except StorageRolledBack as exc:
+        return CrossMigrationOutcome(
+            attack="storage-rollback",
+            blocked=True,
+            refusal=type(exc).__name__,
+            detail=str(exc),
+            # The refusal is durable, not destructive: the legitimate
+            # blob is still on disk for the operator to put back.
+            state_intact=home.ecall_once(0, "read") == COUNTER_START,
+        )
+    return CrossMigrationOutcome(
+        attack="storage-rollback",
+        blocked=False,
+        detail="stale sealed table was served silently",
+    )
+
+
+def run_counter_fork_attack(seed: int | str = 42) -> CrossMigrationOutcome:
+    """Relaunch the image on the retired source and use its namespace.
+
+    After the handoff the source host still has the (authentic!) sealed
+    table and counters on disk.  The operator relaunches the same image
+    there, hoping the fresh instance picks the namespace up and forks
+    the counter lineage.  The retired tombstone must refuse both reads
+    and writes — and the *legitimate* return migration must un-retire
+    the host, or reuse would be impossible.
+    """
+    tb = build_testbed(seed=seed)
+    app = build_sweep_app(tb)
+    _put_secrets(app, 3)
+    result = MigrationOrchestrator(hop_view(tb, 1)).migrate_enclave(app)
+
+    # The fork: a virgin same-image instance on the retired source host.
+    fork = HostApplication(
+        tb.source, tb.source_os, app.image, [], owner=tb.owner
+    ).launch()
+    try:
+        fork.library.control_call(control.storage_get, "failed-logins")
+    except StorageRetired as exc:
+        refusal, detail = type(exc).__name__, str(exc)
+    else:
+        return CrossMigrationOutcome(
+            attack="counter-fork",
+            blocked=False,
+            detail="a relaunched instance read the retired namespace",
+        )
+    try:
+        fork.library.control_call(control.storage_put, "failed-logins", 0)
+        return CrossMigrationOutcome(
+            attack="counter-fork",
+            blocked=False,
+            detail="a relaunched instance wrote the retired namespace",
+        )
+    except StorageRetired:
+        pass
+    fork.destroy()
+
+    # Soundness: the legitimate enclave migrating home un-retires the
+    # namespace (the strictly increasing handoff sequence outruns the
+    # retirement tombstone).
+    back = MigrationOrchestrator(hop_view(tb, 2)).migrate_enclave(result.target_app)
+    return CrossMigrationOutcome(
+        attack="counter-fork",
+        blocked=True,
+        refusal=refusal,
+        detail=detail,
+        state_intact=_storage_ok(back.target_app, 3),
+    )
+
+
+class _StorageWithholdingOrchestrator(MigrationOrchestrator):
+    """A malicious driver that skips the negotiated storage handoff."""
+
+    def storage_pending(self, app: HostApplication) -> bool:
+        return False
+
+
+def run_stale_checkpoint_attack(seed: int | str = 43) -> CrossMigrationOutcome:
+    """Pair a fresh checkpoint with a stale storage namespace.
+
+    The negotiation is the orchestrator's call, and the orchestrator is
+    untrusted: here it simply never ships the storage.  The checkpoint
+    itself binds the storage version it was taken at, so the target —
+    whose namespace never advanced — must refuse to go live rather than
+    resume the workload against rolled-back persistent state.
+    """
+    tb = build_testbed(seed=seed)
+    app = build_sweep_app(tb)
+    _put_secrets(app, 3)
+    orch = _StorageWithholdingOrchestrator(tb)
+    try:
+        orch.migrate_enclave(app)
+    except StorageRolledBack as exc:
+        return CrossMigrationOutcome(
+            attack="stale-checkpoint",
+            blocked=True,
+            refusal=type(exc).__name__,
+            detail=str(exc),
+            # Refusal beats availability: the source is SPENT and the
+            # target never went live — but no instance serves stale
+            # state, and the namespace is intact for recovery.
+            state_intact=tb.durable.counter(
+                wal.storage_namespace(tb.source.name, app.image.name)
+            )
+            == 3,
+        )
+    return CrossMigrationOutcome(
+        attack="stale-checkpoint",
+        blocked=False,
+        detail="target went live without the storage handoff",
+    )
+
+
+class _ReplayingOrchestrator(MigrationOrchestrator):
+    """A malicious driver that re-sends the handoff blob it just delivered.
+
+    The replay has to land while the session is still open — once the
+    target goes live the session key is wiped and a replay dies as a
+    :class:`~repro.errors.ChannelError` before any storage logic runs.
+    Inside the window the blob authenticates, so the handoff sequence
+    counter is the defense under test.
+    """
+
+    replay_refusal: Exception | None = None
+
+    def handoff_storage(self, app, target_app):
+        version = super().handoff_storage(app, target_app)
+        sealed = self.tb.network.captured("storage-handoff")[-1]
+        try:
+            target_app.library.control_call(control.target_import_storage, sealed)
+        except HandoffReplayed as exc:
+            self.replay_refusal = exc
+        return version
+
+
+def run_handoff_replay_attack(seed: int | str = 44) -> CrossMigrationOutcome:
+    """Replay the captured storage-handoff blob at the target.
+
+    The wire is the operator's: the handoff blob is theirs to keep and
+    re-send.  The blob authenticates under the session key, but its
+    channel sequence was consumed by the first import — the handoff
+    counter must refuse the second, and the refusal must not derail the
+    legitimate migration happening around it.
+    """
+    tb = build_testbed(seed=seed)
+    app = build_sweep_app(tb)
+    _put_secrets(app, 3)
+    orch = _ReplayingOrchestrator(tb)
+    result = orch.migrate_enclave(app)
+    target = result.target_app
+
+    if orch.replay_refusal is None:
+        return CrossMigrationOutcome(
+            attack="handoff-replay",
+            blocked=False,
+            detail="the target imported the same handoff twice",
+        )
+    # Defense in depth: after go-live the same replay dies even earlier,
+    # at the (now torn down) session channel.
+    from repro.errors import ChannelError
+
+    try:
+        target.library.control_call(
+            control.target_import_storage, tb.network.captured("storage-handoff")[-1]
+        )
+        return CrossMigrationOutcome(
+            attack="handoff-replay",
+            blocked=False,
+            detail="a post-migration replay was imported",
+        )
+    except (ChannelError, HandoffReplayed):
+        pass
+    return CrossMigrationOutcome(
+        attack="handoff-replay",
+        blocked=True,
+        refusal=type(orch.replay_refusal).__name__,
+        detail=str(orch.replay_refusal),
+        state_intact=_storage_ok(target, 3),
+    )
+
+
+#: The whole matrix, in one call (CLI + CI entry point).
+CROSS_MIGRATION_ATTACKS = {
+    "storage-rollback": run_storage_rollback_attack,
+    "counter-fork": run_counter_fork_attack,
+    "stale-checkpoint": run_stale_checkpoint_attack,
+    "handoff-replay": run_handoff_replay_attack,
+}
+
+
+def run_cross_migration_matrix(seed: int | str = 40) -> list[CrossMigrationOutcome]:
+    """Run every cross-migration attack; the caller asserts all blocked."""
+    return [
+        fn(seed=f"{seed}/{name}") for name, fn in CROSS_MIGRATION_ATTACKS.items()
+    ]

@@ -4,7 +4,7 @@ Commands:
 
 * ``demo``      — run the quickstart scenario end to end.
 * ``attack``    — run one of the paper's attacks (consistency / fork /
-  rollback / replay / tamper) and print the outcome.
+  rollback / replay / tamper / crossmig) and print the outcome.
 * ``vm``        — migrate a whole VM (optionally with enclaves / agent)
   and print the Figure-10 quantities.
 * ``faults``    — migrate under an injected fault plan and print whether
@@ -118,6 +118,20 @@ def _cmd_attack(args) -> int:
         for mode in ("flip", "truncate"):
             outcome = run_tamper_scenario(mode)
             print(f"{mode}: detected={outcome.detected} ({outcome.error})")
+    elif name == "crossmig":
+        from repro.attacks.crossmig import run_cross_migration_matrix
+
+        outcomes = run_cross_migration_matrix(seed=args.seed)
+        for outcome in outcomes:
+            verdict = (
+                f"refused with {outcome.refusal}" if outcome.blocked else "NOT BLOCKED"
+            )
+            print(
+                f"{outcome.attack:17s} {verdict:33s} "
+                f"state intact: {outcome.state_intact}"
+            )
+        if not all(o.blocked for o in outcomes):
+            return 1
     else:  # pragma: no cover - argparse restricts choices
         return 1
     return 0
@@ -210,6 +224,10 @@ def _cmd_faults(args) -> int:
         tb.source, tb.source_os, built.image, [], owner=tb.owner
     ).launch()
     app.ecall_once(0, "incr", 7)
+    if args.storage:
+        from repro.sdk import control as _control
+
+        app.library.control_call(_control.storage_put, "cli-note", "survives faults")
 
     report: dict = {"plan": plan.describe() or None, "seed": args.seed}
     if not args.json:
@@ -228,6 +246,12 @@ def _cmd_faults(args) -> int:
             ref_tb.source, ref_tb.source_os, ref_built.image, [], owner=ref_tb.owner
         ).launch()
         ref_app.ecall_once(0, "incr", 7)
+        if args.storage:
+            from repro.sdk import control as _control
+
+            ref_app.library.control_call(
+                _control.storage_put, "cli-note", "survives faults"
+            )
         t0 = ref_tb.clock.now_ms
         ref_result = MigrationOrchestrator(ref_tb, retry=retry).migrate_enclave(ref_app)
         baseline_ms = ref_tb.clock.now_ms - t0
@@ -238,11 +262,14 @@ def _cmd_faults(args) -> int:
     try:
         result = orch.migrate_enclave(app)
     except MigrationAborted as exc:
+        from repro.durability import wal as _wal
+
         report.update(
             outcome="aborted",
             error=str(exc),
             stats=orch.stats.as_dict(),
             faults_fired=dict(tb.trace.tally("fault")),
+            storage=_wal.storage_digests(tb.durable),
             timeline=tb.telemetry.timeline().as_dict(),
         )
         if args.json:
@@ -255,7 +282,18 @@ def _cmd_faults(args) -> int:
     elapsed_ms = tb.clock.now_ms - t0
     counter = result.target_app.ecall_once(0, "incr", 0)
     diverged = reference_counter is not None and counter != reference_counter
+    from repro.durability import wal as _wal
+
+    storage = _wal.storage_digests(tb.durable)
+    if storage and not args.json:
+        for ns, digest in sorted(storage.items()):
+            print(
+                f"sealed store {ns}: blob sha256 {digest['sha256']} "
+                f"(version {digest['version']}, handoff {digest['handoff']}, "
+                f"retired {digest['retired']})"
+            )
     report.update(
+        storage=storage,
         outcome="diverged" if diverged else "completed",
         attempts=result.attempts,
         counter=counter,
@@ -305,6 +343,10 @@ def _cmd_recover(args) -> int:
     plan.seed = args.seed
     tb = build_testbed(seed=args.seed)
     app = build_sweep_app(tb)
+    if args.storage:
+        from repro.sdk import control as _control
+
+        app.library.control_call(_control.storage_put, "cli-note", "survives crashes")
     orch = MigrationOrchestrator(
         tb, retry=FAULT_TOLERANT_RETRY, faults=FaultInjector(plan)
     )
@@ -364,12 +406,23 @@ def _cmd_recover(args) -> int:
     diverged = report.live_instances not in (0, 1) or (
         counter is not None and counter != COUNTER_START
     )
+    from repro.durability import wal as _wal
+
+    storage = _wal.storage_digests(tb.durable)
+    if storage and not args.json:
+        for ns, digest in sorted(storage.items()):
+            print(
+                f"sealed store {ns}: blob sha256 {digest['sha256']} "
+                f"(version {digest['version']}, handoff {digest['handoff']}, "
+                f"retired {digest['retired']})"
+            )
     out.update(
         outcome=report.outcome,
         detail=report.detail,
         journal_kinds={k: list(v) for k, v in sorted(report.journal_kinds.items())},
         live_instances=report.live_instances,
         counter=counter,
+        storage=storage,
         violations=violations,
         diverged=diverged,
         invariants_clean=not violations and not diverged,
@@ -459,7 +512,7 @@ def _cmd_inventory(_args) -> int:
         ("repro.guestos", "scheduler (honest+malicious), SGX driver", "§IV-A, §VI-B"),
         ("repro.sdk", "builder, runtime, control thread, library, owner", "§III, §VI-C"),
         ("repro.migration", "orchestrator, agent, snapshots, VM migration", "§III-§VI"),
-        ("repro.attacks", "consistency, fork, rollback, replay, tamper", "§IV-A, §V-A, §VII-A"),
+        ("repro.attacks", "consistency, fork, rollback, replay, tamper, crossmig", "§IV-A, §V-A, §VII-A"),
         ("repro.workloads", "nbench, crypto apps, bank, mail, auth, memcached", "§VIII"),
     ]
     width = max(len(r[0]) for r in rows)
@@ -478,7 +531,14 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("demo", help="run the quickstart scenario").set_defaults(fn=_cmd_demo)
     attack = sub.add_parser("attack", help="run one of the paper's attacks")
     attack.add_argument(
-        "name", choices=("consistency", "fork", "rollback", "replay", "tamper")
+        "name",
+        choices=("consistency", "fork", "rollback", "replay", "tamper", "crossmig"),
+    )
+    attack.add_argument(
+        "--seed",
+        type=int,
+        default=40,
+        help="seed for the cross-migration matrix (ignored by other attacks)",
     )
     attack.set_defaults(fn=_cmd_attack)
     vm = sub.add_parser("vm", help="migrate a whole VM")
@@ -503,6 +563,11 @@ def main(argv: list[str] | None = None) -> int:
         help="checkpoint chunk size (0 = unchunked seed protocol)",
     )
     faults.add_argument(
+        "--storage",
+        action="store_true",
+        help="seed the enclave with sealed storage so the handoff runs too",
+    )
+    faults.add_argument(
         "--json", action="store_true", help="emit one JSON report instead of prose"
     )
     faults.set_defaults(fn=_cmd_faults)
@@ -518,6 +583,11 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     recover.add_argument("--seed", type=int, default=7, help="testbed / plan seed")
+    recover.add_argument(
+        "--storage",
+        action="store_true",
+        help="seed the enclave with sealed storage so the handoff runs too",
+    )
     recover.add_argument(
         "--json", action="store_true", help="emit one JSON report instead of prose"
     )

@@ -84,14 +84,33 @@ class MigrationRecovery:
         self.target_app = target_app
         image = source_app.image
         store = testbed.durable
+        # Journals are addressed by machine *name* and journal epoch, not
+        # by the literal roles: an N-hop chain swaps which machine plays
+        # source, and each hop's journals carry the hop's epoch stamp.
         self.wal = Journal(
-            store, wal.orchestrator_journal_name(image.name), wal.PARTY_ORCHESTRATOR
+            store,
+            wal.orchestrator_journal_name(
+                image.name, getattr(testbed, "wal_epoch", 0)
+            ),
+            wal.PARTY_ORCHESTRATOR,
         )
         self.source_journal = Journal(
-            store, wal.enclave_journal_name("source", image.name), wal.PARTY_SOURCE
+            store,
+            wal.enclave_journal_name(
+                testbed.source.name,
+                image.name,
+                getattr(testbed.source, "journal_epoch", 0),
+            ),
+            wal.PARTY_SOURCE,
         )
         self.target_journal = Journal(
-            store, wal.enclave_journal_name("target", image.name), wal.PARTY_TARGET
+            store,
+            wal.enclave_journal_name(
+                testbed.target.name,
+                image.name,
+                getattr(testbed.target, "journal_epoch", 0),
+            ),
+            wal.PARTY_TARGET,
         )
 
     # ------------------------------------------------------------------ main
@@ -292,6 +311,7 @@ class MigrationRecovery:
             new_app.library.launch(owner=None)
             library = new_app.library
             try:
+                self._repair_storage(machine, library)
                 library.control_call(control.recovery_install_key, sealed_key)
                 plan = library.control_call(control.target_restore_memory, envelope)
                 library.replay_cssa(plan)
@@ -304,6 +324,30 @@ class MigrationRecovery:
             new_app.respawn_after_restore(plan)
             self._join_lineage(new_app)
             return new_app
+
+    def _repair_storage(self, machine, library) -> None:
+        """Re-commit a half-handed-off sealed-storage namespace.
+
+        Both sides journal the full sealed table at the handoff boundary
+        (the source in its ``storage-export`` record, the target in its
+        ``storage-import`` record), so a rebuilt instance can repair a
+        namespace whose untrusted blob was torn or lost — the monotonic
+        counters survive, and without the repair the freshness rules
+        would (correctly, but terminally) refuse the namespace.
+        Idempotent: a namespace that moved past the journaled version is
+        left alone.
+        """
+        journal = (
+            self.target_journal if machine is self.tb.target else self.source_journal
+        )
+        record = _last(
+            journal.records(), wal.REC_STORAGE_IMPORT
+        ) or _last(journal.records(), wal.REC_STORAGE_EXPORT)
+        if record is None or "sealed" not in (record.payload or {}):
+            return
+        library.control_call(
+            control.recovery_install_storage, record.payload["sealed"]
+        )
 
     # --------------------------------------------------------------- helpers
     def _target_alive(self) -> bool:

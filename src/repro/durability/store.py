@@ -58,6 +58,15 @@ class DurableStore:
     def has_log(self, name: str) -> bool:
         return name in self._logs
 
+    def set_log(self, name: str, data: bytes) -> None:
+        """Replace the byte log under ``name`` wholesale.
+
+        Journals only ever append; the sealed-storage namespaces rewrite
+        their (sealed, versioned) table blob in place and rely on the
+        namespace's monotonic counter — not the bytes — for freshness.
+        """
+        self._logs[name] = bytearray(data)
+
     def names(self) -> list[str]:
         return sorted(self._logs)
 
@@ -71,3 +80,17 @@ class DurableStore:
         value = self._counters.get(name, 0) + 1
         self._counters[name] = value
         return value
+
+    def counter_advance(self, name: str, value: int) -> int:
+        """Advance the counter to ``value`` (monotonic; never moves back).
+
+        Hardware counters cannot be wound down, so an advance below the
+        current value is simply a no-op — callers that need "this would
+        have gone backwards" to be an error must compare first.  Returns
+        the counter's (possibly unchanged) value.
+        """
+        current = self._counters.get(name, 0)
+        if value > current:
+            self._counters[name] = value
+            return value
+        return current

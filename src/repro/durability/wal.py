@@ -35,6 +35,8 @@ WAL_CHECKPOINT = "checkpoint"        # payload: sealed envelope bytes + sequence
 WAL_TARGET_BUILT = "target-built"
 WAL_CHANNEL = "channel"
 WAL_TRANSFERRED = "transferred"      # payload: the delivered envelope bytes
+WAL_STORAGE = "storage"              # payload: the channel-sealed storage handoff blob
+WAL_STORAGE_DELIVERED = "storage-delivered"
 WAL_RELEASE = "release"              # payload: the sealed K_migrate blob
 WAL_DELIVERED = "delivered"
 WAL_RESTORED = "restored"            # payload: the CSSA replay plan
@@ -46,6 +48,8 @@ WAL_CANCEL = "cancel"
 REC_CHECKPOINT = "checkpoint"        # sealed: K_migrate; clear: envelope + sequence
 REC_CHANNEL_OPEN = "channel-open"
 REC_CHANNEL = "channel"
+REC_STORAGE_EXPORT = "storage-export"    # source: storage left under the session key
+REC_STORAGE_IMPORT = "storage-import"    # target: sealed re-bound storage table
 REC_RELEASED = "released"            # the instant the instance is SPENT
 REC_CANCELLED = "cancelled"
 REC_KEY_INSTALLED = "key-installed"  # sealed: the received K_migrate
@@ -56,9 +60,60 @@ REC_ESCROW_RELEASE = "escrow-release"
 AGENT_JOURNAL = "enclave/target/agent"
 
 
-def orchestrator_journal_name(image_name: str) -> str:
+def orchestrator_journal_name(image_name: str, epoch: int = 0) -> str:
+    """Epoch 0 keeps the legacy name; N-hop chains (where one image name
+    migrates through the same pair of hosts repeatedly) stamp each hop's
+    journals with the hop number so one hop's terminal records ("done",
+    "released") can never masquerade as another hop's."""
+    if epoch:
+        return f"orchestrator/{image_name}@{epoch}"
     return f"orchestrator/{image_name}"
 
 
-def enclave_journal_name(machine_name: str, image_name: str) -> str:
+def enclave_journal_name(machine_name: str, image_name: str, epoch: int = 0) -> str:
+    if epoch:
+        return f"enclave/{machine_name}/{image_name}@{epoch}"
     return f"enclave/{machine_name}/{image_name}"
+
+
+def storage_namespace(machine_name: str, image_name: str) -> str:
+    """The sealed-storage namespace for one enclave instance on one host.
+
+    The namespace holds a single sealed table blob (rewritten whole on
+    every put) guarded by three hardware monotonic counters, named by
+    suffix below: the committed table *version*, the *handoff* sequence
+    last imported into the namespace, and the *retired* sequence at which
+    the namespace was handed off to another host.
+    """
+    return f"storage/{machine_name}/{image_name}"
+
+
+def storage_handoff_counter(namespace: str) -> str:
+    return f"{namespace}/handoff"
+
+
+def storage_retired_counter(namespace: str) -> str:
+    return f"{namespace}/retired"
+
+
+def storage_digests(store) -> dict[str, dict]:
+    """Operator-facing summary of every sealed-storage namespace.
+
+    Maps namespace → sha256 of the sealed table blob plus the three
+    guarding counters.  The digest is over ciphertext the operator can
+    read anyway; the CLI prints it so two hosts' disks can be compared
+    (and a rollback attempt shown) without unsealing anything.
+    """
+    import hashlib
+
+    digests: dict[str, dict] = {}
+    for name in store.names():
+        if not name.startswith("storage/"):
+            continue
+        digests[name] = {
+            "sha256": hashlib.sha256(bytes(store.log(name))).hexdigest()[:16],
+            "version": store.counter(name),
+            "handoff": store.counter(storage_handoff_counter(name)),
+            "retired": store.counter(storage_retired_counter(name)),
+        }
+    return digests

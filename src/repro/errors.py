@@ -168,6 +168,35 @@ class RecoveryError(DurabilityError):
     """Crash recovery could not reconstruct a safe state from the journal."""
 
 
+class SealedStorageError(DurabilityError):
+    """Base class for migratable sealed-storage refusals.
+
+    The storage namespace carries a service's persistent state across
+    migrations; anything suspicious about it is *refused* with a subclass
+    of this error, never repaired silently.
+    """
+
+
+class StorageRolledBack(SealedStorageError):
+    """A sealed-storage blob is older than its monotonic version counter.
+
+    Someone restored a stale copy of the sealed table (or replayed a
+    pre-migration one on the source after the namespace moved): the
+    durable version counter only moves forward, so the mismatch is
+    detectable and the open is refused (CTR / Alder et al. defense,
+    extended across the migration boundary).
+    """
+
+
+class StorageRetired(SealedStorageError):
+    """The sealed-storage namespace was handed off to another host.
+
+    Set at the migration's point of no return: a resumed or rebuilt
+    source that tries to touch the namespace afterwards would fork the
+    counter lineage, so the access is refused outright.
+    """
+
+
 class InvariantViolation(ReproError):
     """The live invariant monitor observed a broken safety property.
 
@@ -253,6 +282,15 @@ class ConsistencyViolation(MigrationError):
     In a correct run this never fires; the attack tests assert that a
     *broken* (single-phase) checkpointer produces it while the paper's
     two-phase scheme does not.
+    """
+
+
+class HandoffReplayed(MigrationError):
+    """A sealed-storage handoff blob was presented more than once.
+
+    The export is bound to one channel sequence; importing it a second
+    time (a replayed `handoff-storage` message, or the same blob fed to
+    two targets) would fork the storage lineage and is refused.
     """
 
 

@@ -24,6 +24,7 @@ STEP_CHECKPOINT = "checkpoint"
 STEP_BUILD_TARGET = "build-target"
 STEP_ESTABLISH_CHANNEL = "establish-channel"
 STEP_TRANSFER_CHECKPOINT = "transfer-checkpoint"
+STEP_HANDOFF_STORAGE = "handoff-storage"
 STEP_HANDOFF_KEY = "handoff-key"
 STEP_RESTORE = "restore"
 
@@ -32,6 +33,7 @@ PROTOCOL_STEPS = (
     STEP_BUILD_TARGET,
     STEP_ESTABLISH_CHANNEL,
     STEP_TRANSFER_CHECKPOINT,
+    STEP_HANDOFF_STORAGE,
     STEP_HANDOFF_KEY,
     STEP_RESTORE,
 )

@@ -10,6 +10,12 @@ or not the test thought to ask:
   completes another ecall and never becomes non-SPENT again;
 * **escrow exactly-once** — the §VI-D agent releases each escrowed key
   at most once;
+* **escrow-table bound** — under churn the agent's escrow table never
+  holds more entries than distinct measurements ever escrowed (a larger
+  table means entries are leaking instead of being overwritten);
+* **snapshot sequence monotonicity** — §V-C snapshot *takes* per image
+  carry strictly increasing sequence numbers; a non-monotone take means
+  a rolled-back lineage is quietly generating checkpoints;
 * **CSSA is hardware-only** — the tracked CSSA value is never readable
   by software (the restore path must work without ever reading it).
 
@@ -76,6 +82,10 @@ class InvariantMonitor:
         #: (machine name, enclave id) pairs ever observed SPENT.
         self._spent: set[tuple[str, int]] = set()
         self._escrow_releases: dict[str, int] = {}
+        #: Distinct measurements ever escrowed: the table-size bound.
+        self._escrow_keys: set[str] = set()
+        #: Highest §V-C snapshot sequence taken, per image name.
+        self._snapshot_taken: dict[str, int] = {}
         self._cssa_probed: set[tuple[str, int]] = set()
         _ACTIVE.append(self)
 
@@ -139,6 +149,26 @@ class InvariantMonitor:
                     f"escrowed key {key_id[:12]}… released {count} times "
                     "(must be exactly once)"
                 )
+        elif event.category == "agent" and event.name == "escrow":
+            self._escrow_keys.add(str(event.payload.get("key_id")))
+            table_size = int(event.payload.get("table_size", 0))
+            if table_size > len(self._escrow_keys):
+                self._violate(
+                    f"agent escrow table holds {table_size} entries but only "
+                    f"{len(self._escrow_keys)} distinct measurements were "
+                    "ever escrowed (entries are leaking under churn)"
+                )
+        elif event.category == "snapshot" and event.name == "take":
+            image = str(event.payload.get("image"))
+            sequence = int(event.payload.get("sequence", 0))
+            last = self._snapshot_taken.get(image, 0)
+            if sequence <= last:
+                self._violate(
+                    f"§V-C snapshot sequence went backwards for {image!r} "
+                    f"({last} → {sequence}): a rolled-back lineage is "
+                    "generating checkpoints"
+                )
+            self._snapshot_taken[image] = max(last, sequence)
 
     def on_ecall_result(self, library: "SgxLibrary") -> None:
         """Called by the SDK whenever a worker ecall produces a result."""

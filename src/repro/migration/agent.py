@@ -60,8 +60,15 @@ def agent_escrow_request(rt: EnclaveRuntime, qe) -> tuple:
     return owner_key_request(rt, qe, "agent-escrow")
 
 
-def agent_store_escrow(rt: EnclaveRuntime, source_dh_public: int, sealed: bytes) -> None:
-    """Accept an escrowed K_migrate from a remotely attested source."""
+def agent_store_escrow(
+    rt: EnclaveRuntime, source_dh_public: int, sealed: bytes
+) -> tuple[str, int, int]:
+    """Accept an escrowed K_migrate from a remotely attested source.
+
+    Returns ``(key_id, table_size, unreleased)`` so the untrusted service
+    wrapper can report table growth to the invariant monitor — the table
+    must never hold more entries than distinct measurements escrowed.
+    """
     boot = rt.load_obj(OBJ_BOOT)
     if boot is None:
         raise ChannelError("no escrow exchange in progress")
@@ -77,6 +84,9 @@ def agent_store_escrow(rt: EnclaveRuntime, source_dh_public: int, sealed: bytes)
     table[key_id] = {
         "kmigrate": payload["kmigrate"],
         "sequence": payload["sequence"],
+        # Sealed storage rides the escrow (the agent path has no direct
+        # source↔target session); released alongside the key, exactly once.
+        "storage": payload.get("storage"),
         "released": False,
     }
     rt.store_obj(OBJ_ESCROW, table)
@@ -90,8 +100,11 @@ def agent_store_escrow(rt: EnclaveRuntime, source_dh_public: int, sealed: bytes)
             "key_id": key_id,
             "kmigrate": payload["kmigrate"],
             "sequence": payload["sequence"],
+            "storage": payload.get("storage"),
         },
     )
+    unreleased = sum(1 for entry in table.values() if not entry["released"])
+    return key_id, len(table), unreleased
 
 
 def agent_recover_escrow(rt: EnclaveRuntime, sealed: bytes, released: bool) -> None:
@@ -109,6 +122,7 @@ def agent_recover_escrow(rt: EnclaveRuntime, sealed: bytes, released: bool) -> N
     table[payload["key_id"]] = {
         "kmigrate": payload["kmigrate"],
         "sequence": payload["sequence"],
+        "storage": payload.get("storage"),
         "released": bool(released),
     }
     rt.store_obj(OBJ_ESCROW, table)
@@ -147,7 +161,13 @@ def agent_release_key(
     session_key = SymmetricKey(sha256(shared.to_bytes(256, "big")), "agent-release")
     sealed = seal_envelope(
         session_key,
-        pack({"kmigrate": record["kmigrate"], "sequence": record["sequence"]}),
+        pack(
+            {
+                "kmigrate": record["kmigrate"],
+                "sequence": record["sequence"],
+                "storage": record.get("storage"),
+            }
+        ),
         rt.random_bytes(16),
         "aes",
         aad=b"agent-release",
@@ -216,7 +236,16 @@ class AgentService:
                 control.source_escrow_to_agent, avr, agent_pub
             )
             delivered = self._transfer("agent-escrow", sealed)
-            self.app.library.control_call(agent_store_escrow, source_pub, delivered)
+            key_id, table_size, unreleased = self.app.library.control_call(
+                agent_store_escrow, source_pub, delivered
+            )
+            tb.trace.emit(
+                "agent",
+                "escrow",
+                key_id=key_id,
+                table_size=table_size,
+                unreleased=unreleased,
+            )
         tb.trace.metrics.counter("agent.escrows_total").inc()
 
     def release_to(self, target_app: HostApplication) -> None:

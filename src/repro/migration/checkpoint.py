@@ -51,6 +51,11 @@ class EnclaveCheckpoint:
     pages: dict[int, bytes] = field(default_factory=dict)
     tcs_states: list[TcsState] = field(default_factory=list)
     skipped_pages: list[int] = field(default_factory=list)
+    #: Committed sealed-storage version at checkpoint time (0 when the
+    #: enclave has no storage namespace).  Binds the checkpoint to the
+    #: storage snapshot migrating alongside it: a target whose imported
+    #: namespace is older than this refuses to go live.
+    storage_version: int = 0
 
     @property
     def memory_bytes(self) -> int:
@@ -83,6 +88,7 @@ class EnclaveCheckpoint:
                     for s in self.tcs_states
                 ],
                 "skipped": self.skipped_pages,
+                "storage_version": self.storage_version,
             }
         )
         parts = [_CKPT_MAGIC, len(header).to_bytes(4, "big"), header]
@@ -121,6 +127,10 @@ class EnclaveCheckpoint:
                 TcsState(t["index"], t["cssa"], t["flag"]) for t in fields["tcs"]
             ],
             skipped_pages=list(fields["skipped"]),
+            # Absent in blobs sealed before the storage-handoff step
+            # existed; 0 means "no storage constraint", so old captures
+            # keep restoring.
+            storage_version=int(fields.get("storage_version", 0)),
         )
 
     @staticmethod
@@ -137,6 +147,7 @@ class EnclaveCheckpoint:
                 TcsState(t["index"], t["cssa"], t["flag"]) for t in fields["tcs"]
             ],
             skipped_pages=list(fields["skipped"]),
+            storage_version=int(fields.get("storage_version", 0)),
         )
 
 

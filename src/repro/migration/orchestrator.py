@@ -64,6 +64,7 @@ from repro.faults.plan import (
     STEP_CHECKPOINT,
     STEP_ESTABLISH_CHANNEL,
     STEP_HANDOFF_KEY,
+    STEP_HANDOFF_STORAGE,
     STEP_RESTORE,
     STEP_TRANSFER_CHECKPOINT,
 )
@@ -326,6 +327,58 @@ class MigrationOrchestrator:
             f"{self.retry.max_transfer_rounds} rounds: missing {reassembler.missing()}"
         )
 
+    def storage_pending(self, app: HostApplication) -> bool:
+        """Negotiation: does the source have a sealed-storage namespace?
+
+        Decided from the (untrusted) durable store's version counter —
+        negotiation is an optimization, not a security decision: every
+        freshness and single-lineage rule is enforced inside the enclaves
+        regardless of what the orchestrator chooses to ship.  Enclaves
+        without persistent state skip the step entirely, so their
+        protocol (journal record counts included) is byte-identical to
+        the pre-storage one.
+        """
+        durable = getattr(self.tb, "durable", None)
+        if durable is None:
+            return False
+        ns = wal.storage_namespace(self.tb.source.name, app.image.name)
+        return durable.counter(ns) > 0
+
+    def handoff_storage(self, app: HostApplication, target_app: HostApplication) -> int:
+        """The negotiated `handoff-storage` step: move the namespace.
+
+        The source re-seals (table, version) under the channel session
+        key with the channel sequence bound inside; the target re-binds
+        it to its own EGETKEY key and counter bank.  Runs strictly before
+        the key handoff — a failure here is still renegotiable, so the
+        delivery loop re-raises transport faults instead of aborting.
+        """
+        sealed = app.library.control_call(control.source_export_storage)
+        # Ciphertext under the session key, same trust story as the
+        # checkpoint envelope: journaling it lets recovery redeliver.
+        self._wal_append(wal.WAL_STORAGE, {"sealed": sealed})
+        backoff = self.retry.base_backoff_ns
+        last_exc: Exception | None = None
+        for round_no in range(self.retry.max_transfer_rounds):
+            if round_no:
+                self.tel.counter("migration.storage_retransmits_total").inc()
+                self.tb.trace.emit("migration", "storage_resend", round=round_no)
+                self.tb.clock.advance(backoff)
+                backoff = self.retry.next_backoff(backoff)
+            try:
+                delivered = self.tb.network.transfer("storage-handoff", sealed)
+                version = target_app.library.control_call(
+                    control.target_import_storage, delivered
+                )
+                self._wal_append(wal.WAL_STORAGE_DELIVERED, {"version": version})
+                return version
+            except (NetworkFault, IntegrityError, CryptoError, SerdeError) as exc:
+                last_exc = exc
+                if self.retry.max_attempts <= 1:
+                    raise  # seed behaviour: no degraded-mode retries
+        assert last_exc is not None
+        raise last_exc  # pre-point-of-no-return: the attempt loop renegotiates
+
     def handoff_key(self, app: HostApplication, target_app: HostApplication) -> None:
         """K_migrate moves last; the source self-destroys (§V-B).
 
@@ -522,6 +575,14 @@ class MigrationOrchestrator:
                         self._wal_append(
                             wal.WAL_TRANSFERRED, {"blob": delivered_checkpoint}
                         )
+                    # Crash faults scheduled at this step must fire even
+                    # for storageless enclaves (the step exists in the
+                    # protocol grammar either way); only the span and the
+                    # actual transfer are negotiated away.
+                    self._begin_step(app, STEP_HANDOFF_STORAGE)
+                    if self.storage_pending(app):
+                        with self.tel.span(f"migration.step.{STEP_HANDOFF_STORAGE}"):
+                            self.handoff_storage(app, target_app)
                     with self.tel.span(f"migration.step.{STEP_HANDOFF_KEY}"):
                         self._begin_step(app, STEP_HANDOFF_KEY)
                         self.handoff_key(app, target_app)
@@ -585,7 +646,9 @@ class MigrationOrchestrator:
             return None
         return Journal(
             durable,
-            wal.orchestrator_journal_name(app.image.name),
+            wal.orchestrator_journal_name(
+                app.image.name, getattr(self.tb, "wal_epoch", 0)
+            ),
             wal.PARTY_ORCHESTRATOR,
         )
 

@@ -73,6 +73,12 @@ class SnapshotManager:
                 library.checkpoint_use_installed_key = False
             result = library.last_checkpoint
             self.owner.record_snapshot(app.image.name, result.sequence)
+            # The invariant monitor watches this: snapshot sequences per
+            # image must be strictly increasing, or a rolled-back lineage
+            # is quietly generating checkpoints.
+            self.tb.trace.emit(
+                "snapshot", "take", image=app.image.name, sequence=result.sequence
+            )
             # A snapshot is not a migration: the enclave resumes right away.
             library.control_call(control.source_cancel_migration)
             library.last_checkpoint = None
@@ -120,4 +126,10 @@ class SnapshotManager:
             plan = self.orchestrator.restore(fresh, checkpoint_bytes)
             fresh.respawn_after_restore(plan)
             guest_os.end_migration()
+            tb.trace.emit(
+                "snapshot",
+                "resume",
+                image=snapshot.image_name,
+                sequence=snapshot.sequence,
+            )
             return fresh

@@ -31,9 +31,11 @@ from repro.errors import (
     AttestationError,
     ChannelError,
     CssaMismatch,
+    HandoffReplayed,
     MigrationError,
     RestoreError,
     SelfDestroyed,
+    StorageRolledBack,
 )
 from repro.migration.checkpoint import (
     EnclaveCheckpoint,
@@ -185,6 +187,10 @@ def generate_checkpoint(
         pages=pages,
         tcs_states=tcs_states,
         skipped_pages=skipped,
+        # Bind the storage snapshot to this checkpoint: the target will
+        # refuse to go live on a namespace older than this (0 when the
+        # enclave keeps no persistent storage).
+        storage_version=rt.storage_version(),
     )
     # Charge the hash+encrypt pipeline in slices so concurrent control
     # threads overlap on the VCPUs instead of serializing one big step.
@@ -384,6 +390,154 @@ def _session_key(rt: EnclaveRuntime) -> SymmetricKey:
 
 
 # ---------------------------------------------------------------------------
+# Sealed-storage & counter handoff (persistent-state migration)
+# ---------------------------------------------------------------------------
+#
+# A long-lived service's sealed storage is bound to its host: the table
+# blob is sealed under this CPU's EGETKEY key and its freshness counters
+# live in this host's tamper-resistant counter bank.  Neither survives
+# the move on its own, so the migration protocol gains a negotiated
+# `handoff-storage` step between checkpoint transfer and key release:
+# the source re-seals (table, version) under the channel session key with
+# the channel sequence bound into the payload, and the target re-binds it
+# to its own EGETKEY key and counter bank before K_migrate ever moves.
+# The source's namespace is tombstoned at the point of no return, so a
+# resumed or rebuilt source can never fork the counter lineage.
+
+def storage_put(rt: EnclaveRuntime, key: str, value) -> int:
+    """Service-facing entry: write one persistent entry (control TCS)."""
+    _ensure_not_destroyed(rt)
+    return rt.storage_put(key, value)
+
+
+def storage_get(rt: EnclaveRuntime, key: str, default=None):
+    """Service-facing entry: read one persistent entry (control TCS)."""
+    _ensure_not_destroyed(rt)
+    return rt.storage_get(key, default)
+
+
+def source_export_storage(rt: EnclaveRuntime) -> bytes:
+    """Re-seal the sealed-storage namespace for the attested target.
+
+    Runs after the checkpoint is generated (the channel sequence exists)
+    and strictly before :func:`source_release_key` — the export itself is
+    not the point of no return; a cancelled migration leaves the source's
+    namespace untouched and usable.
+    """
+    _ensure_not_destroyed(rt)
+    if rt.channel_state() != CHANNEL_OPEN:
+        raise ChannelError("cannot hand off storage without an open channel")
+    channel = rt.load_obj(OBJ_CHANNEL)
+    if not channel.get("ckpt_done"):
+        raise MigrationError("storage handoff runs after checkpoint generation")
+    entries, version = rt.storage_table()
+    sequence = int(channel["sequence"])
+    sealed = seal_envelope(
+        _session_key(rt),
+        pack({"version": version, "entries": entries, "sequence": sequence}),
+        rt.random_bytes(16),
+        "aes",
+        aad=b"storage-handoff",
+    )
+    channel["storage_exported"] = version
+    rt.store_obj(OBJ_CHANNEL, channel)
+    # Journal the full table as a sealed secret, mirroring the target's
+    # storage-import record: either side of a half-handed-off namespace
+    # can then be repaired from its own journal after a crash.
+    rt.journal_record(
+        "storage-export",
+        {"sequence": sequence, "version": version},
+        secret={"sequence": sequence, "version": version, "entries": entries},
+    )
+    return sealed.to_bytes()
+
+
+def _import_storage_table(
+    rt: EnclaveRuntime, sequence: int, version: int, entries: dict
+) -> int:
+    """Shared import core: freshness checks, journal intent, re-bind.
+
+    Refusals are typed and durable: a handoff whose channel sequence was
+    already imported here raises :class:`HandoffReplayed` (the handoff
+    counter only moves forward), and a table older than what this host
+    already committed raises :class:`StorageRolledBack`.  The sealed
+    import record is journaled *before* the namespace is rewritten, so a
+    crash mid-import is repaired from the journal instead of leaving a
+    half-bound namespace that local freshness rules would refuse.
+    """
+    from repro.durability import wal
+
+    ns = rt.storage_namespace()
+    store = rt._journal.store
+    last_handoff = store.counter(wal.storage_handoff_counter(ns))
+    if sequence <= last_handoff:
+        raise HandoffReplayed(
+            f"storage handoff for sequence {sequence} was already imported into "
+            f"{ns!r} (handoff counter is at {last_handoff}): refusing the replay"
+        )
+    if version < store.counter(ns):
+        raise StorageRolledBack(
+            f"storage handoff carries version {version} but namespace {ns!r} "
+            f"already committed version {store.counter(ns)}: a stale export "
+            "is being replayed onto a newer host"
+        )
+    rt.journal_record(
+        "storage-import",
+        {"sequence": sequence, "version": version},
+        secret={"sequence": sequence, "version": version, "entries": entries},
+    )
+    rt.storage_commit(entries, version)
+    store.counter_advance(wal.storage_handoff_counter(ns), sequence)
+    channel = rt.load_obj(OBJ_CHANNEL, default={}) or {}
+    channel["storage_imported"] = sequence
+    rt.store_obj(OBJ_CHANNEL, channel)
+    return version
+
+
+def target_import_storage(rt: EnclaveRuntime, sealed: bytes) -> int:
+    """Re-bind a handed-off namespace to this host; returns its version."""
+    payload = unpack(
+        open_envelope(_session_key(rt), Envelope.from_bytes(sealed), aad=b"storage-handoff")
+    )
+    return _import_storage_table(
+        rt, int(payload["sequence"]), int(payload["version"]), dict(payload["entries"])
+    )
+
+
+def recovery_install_storage(rt: EnclaveRuntime, sealed: bytes) -> int:
+    """Crash recovery: re-commit a storage import this identity journaled.
+
+    ``sealed`` is the journal-sealed ``storage-import`` record payload —
+    same EGETKEY policy as :func:`recovery_install_key`.  Idempotent: a
+    namespace that already advanced past the journaled version (the
+    import committed, then the service kept writing) is left alone.
+    """
+    from repro.durability import wal
+
+    payload = rt.journal_unseal(sealed)
+    version = int(payload["version"])
+    ns = rt.storage_namespace()
+    store = rt._journal.store
+    if version >= store.counter(ns):
+        rt.storage_commit(dict(payload["entries"]), version)
+    store.counter_advance(wal.storage_handoff_counter(ns), int(payload["sequence"]))
+    return store.counter(ns)
+
+
+def _retire_storage(rt: EnclaveRuntime, sequence: int) -> None:
+    """Tombstone the source namespace at the point of no return.
+
+    The retired counter is advanced to the outgoing handoff sequence; the
+    namespace stays refusable until a *newer* handoff is imported back
+    onto this host (which N-hop chains legitimately do).
+    """
+    from repro.durability import wal
+
+    ns = rt.storage_namespace()
+    rt._journal.store.counter_advance(wal.storage_retired_counter(ns), int(sequence))
+
+
+# ---------------------------------------------------------------------------
 # K_migrate handoff + self-destroy (§V-B)
 # ---------------------------------------------------------------------------
 
@@ -413,6 +567,11 @@ def source_release_key(rt: EnclaveRuntime) -> bytes:
     # recover as SPENT — the converse (SPENT without a record) cannot
     # happen because the record commits first.
     rt.journal_record("released", {"sequence": channel["sequence"]})
+    # The storage namespace follows the key over the point of no return:
+    # tombstone it in the same control call, so a resumed or rebuilt
+    # source refuses to fork the counter lineage.
+    if channel.get("storage_exported") is not None:
+        _retire_storage(rt, channel["sequence"])
     # Self-destroy: the global flag stays set forever and the channel is
     # marked spent, so no second checkpoint, channel or key can exist.
     rt.set_channel_state(CHANNEL_SPENT)
@@ -430,6 +589,7 @@ def source_cancel_migration(rt: EnclaveRuntime) -> None:
     channel = rt.load_obj(OBJ_CHANNEL, default={}) or {}
     channel.pop("kmigrate", None)
     channel.pop("session_key", None)
+    channel.pop("storage_exported", None)  # the namespace stays ours
     channel["ckpt_done"] = False
     rt.store_obj(OBJ_CHANNEL, channel)
     rt.set_channel_state(CHANNEL_NONE)
@@ -509,6 +669,13 @@ def source_escrow_to_agent(
     source_dh_public = pow(MODP_2048_G, private, MODP_2048_P)
     shared = pow(agent_dh_public, private, MODP_2048_P)
     session_key = SymmetricKey(sha256(shared.to_bytes(256, "big")), "agent-escrow")
+    # The agent path has no direct source↔target session, so any sealed
+    # storage rides inside the escrow payload and is re-bound when the
+    # agent releases the key to the attested target.
+    storage = None
+    if rt._journal is not None and rt.storage_version():
+        entries, version = rt.storage_table()
+        storage = {"version": version, "entries": entries}
     sealed = seal_envelope(
         session_key,
         pack(
@@ -516,6 +683,7 @@ def source_escrow_to_agent(
                 "kmigrate": channel["kmigrate"],
                 "sequence": channel["sequence"],
                 "target_mr": rt.image.mrenclave,
+                "storage": storage,
             }
         ),
         rt.random_bytes(16),
@@ -523,8 +691,11 @@ def source_escrow_to_agent(
         aad=b"agent-escrow",
     )
     # Point of no return: the key has left this instance.  Same commit
-    # order as source_release_key: record first, then SPENT.
+    # order as source_release_key: record first, then tombstone any
+    # handed-off storage, then SPENT.
     rt.journal_record("released", {"sequence": channel["sequence"], "escrow": True})
+    if storage is not None:
+        _retire_storage(rt, channel["sequence"])
     rt.set_channel_state(CHANNEL_SPENT)
     return source_dh_public, sealed.to_bytes()
 
@@ -566,6 +737,14 @@ def target_install_agent_key(
     channel["expected_sequence"] = payload["sequence"]
     rt.store_obj(OBJ_CHANNEL, channel)
     rt.delete_obj(OBJ_BOOT)
+    storage = payload.get("storage")
+    if storage is not None:
+        _import_storage_table(
+            rt,
+            int(payload["sequence"]),
+            int(storage["version"]),
+            dict(storage["entries"]),
+        )
     rt.journal_record(
         "key-installed",
         {"sequence": payload["sequence"], "via": "agent"},
@@ -659,6 +838,18 @@ def target_verify_and_finish(rt: EnclaveRuntime, sealed_checkpoint: bytes) -> No
             )
             record = rt.layout.tcs_record_vaddr(template.index, TCS_CSSA_EENTER_OFF)
             rt.store_u64(record, state.cssa)
+
+    # Storage/checkpoint binding: a checkpoint taken at storage version N
+    # must not go live on a namespace older than N — that would pair a
+    # fresh memory image with rolled-back persistent state (the stale
+    # storage-handoff attack).  Version 0 means "no storage constraint".
+    if checkpoint.storage_version:
+        if rt.storage_version() < checkpoint.storage_version:
+            raise StorageRolledBack(
+                f"checkpoint was taken at storage version {checkpoint.storage_version} "
+                f"but this host's namespace is at {rt.storage_version()}: refusing to "
+                "go live on rolled-back persistent state"
+            )
 
     rt.journal_record("live")
     rt.set_restore_mode(0)

@@ -72,7 +72,9 @@ class SgxLibrary:
         if durable is not None:
             self.journal = Journal(
                 durable,
-                enclave_journal_name(machine.name, image.name),
+                enclave_journal_name(
+                    machine.name, image.name, getattr(machine, "journal_epoch", 0)
+                ),
                 machine.name,
             )
         else:

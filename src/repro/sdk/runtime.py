@@ -19,7 +19,13 @@ import struct
 from typing import Any, Callable
 
 from repro.crypto.authenc import Envelope, open_envelope, seal_envelope
-from repro.errors import EnclavePageFault, MigrationError
+from repro.errors import (
+    EnclavePageFault,
+    MigrationError,
+    SealedStorageError,
+    StorageRetired,
+    StorageRolledBack,
+)
 from repro.sdk.image import (
     FLAG_BUSY,
     FLAG_FREE,
@@ -344,6 +350,120 @@ class EnclaveRuntime:
         from repro.sgx.instructions import egetkey
 
         return SymmetricKey(egetkey(self.session, "seal_mrenclave"), "journal-seal")
+
+    # ------------------------------------------------------------ sealed storage
+    # Migratable persistent state (the Alder et al. / CTR extension of
+    # the paper): one namespace per enclave instance per host, holding a
+    # single sealed key→value table.  The blob lives on untrusted disk
+    # and is rewritten whole on every put; freshness comes from three
+    # hardware monotonic counters — the committed table *version*, the
+    # last imported *handoff* sequence, and the *retired* sequence set
+    # when the namespace is handed off to another host.  Anything the
+    # counters contradict is refused with a typed SealedStorageError.
+
+    def storage_namespace(self) -> str:
+        if self._journal is None:
+            raise SealedStorageError(
+                "sealed storage needs a durable store; this enclave has none"
+            )
+        from repro.durability import wal
+
+        return wal.storage_namespace(self._journal.party, self.image.name)
+
+    def _storage_seal_key(self):
+        from repro.crypto.keys import SymmetricKey
+        from repro.sgx.instructions import egetkey
+
+        return SymmetricKey(egetkey(self.session, "seal_mrenclave"), "storage-seal")
+
+    def storage_check_live(self) -> str:
+        """Refuse a namespace that was handed off; returns its name.
+
+        A namespace is retired when its retired-counter has caught up
+        with (or passed) its handoff-counter: the last thing that
+        happened to it was an *outgoing* handoff.  A later import onto
+        the same host advances the handoff counter past the tombstone
+        and the namespace is live again (N-hop chains reuse hosts).
+        """
+        from repro.durability import wal
+
+        ns = self.storage_namespace()
+        store = self._journal.store
+        retired = store.counter(wal.storage_retired_counter(ns))
+        if retired and retired >= store.counter(wal.storage_handoff_counter(ns)):
+            raise StorageRetired(
+                f"storage namespace {ns!r} was handed off at sequence {retired}: "
+                "a resumed source must not fork the counter lineage"
+            )
+        return ns
+
+    def storage_table(self) -> tuple[dict, int]:
+        """Load and freshness-check the sealed table → (entries, version)."""
+        ns = self.storage_check_live()
+        store = self._journal.store
+        version = store.counter(ns)
+        blob = bytes(store.log(ns)) if store.has_log(ns) else b""
+        if not blob:
+            if version:
+                raise StorageRolledBack(
+                    f"storage namespace {ns!r} is at version {version} but the "
+                    "sealed table is gone: refusing the empty substitute"
+                )
+            return {}, 0
+        payload = unpack(
+            open_envelope(
+                self._storage_seal_key(), Envelope.from_bytes(blob), aad=b"sealed-storage"
+            )
+        )
+        blob_version = int(payload["version"])
+        if blob_version < version:
+            raise StorageRolledBack(
+                f"storage namespace {ns!r}: sealed table is version {blob_version} "
+                f"but the monotonic counter says {version} — a stale copy was "
+                "restored; refusing to serve rolled-back state"
+            )
+        if blob_version > version + 1:
+            raise StorageRolledBack(
+                f"storage namespace {ns!r}: sealed table version {blob_version} is "
+                f"ahead of the counter ({version}) by more than one commit"
+            )
+        if blob_version == version + 1:
+            # Torn commit: the blob hit disk but the crash beat the
+            # counter advance.  The blob carries this enclave's MAC, so
+            # it is genuinely the newest state — finish the commit.
+            store.counter_advance(ns, blob_version)
+        return dict(payload["entries"]), blob_version
+
+    def storage_commit(self, entries: dict, version: int) -> int:
+        """Seal and write the table at ``version``, then commit it."""
+        ns = self.storage_namespace()
+        store = self._journal.store
+        envelope = seal_envelope(
+            self._storage_seal_key(),
+            pack({"version": version, "entries": entries}),
+            self.random_bytes(16),
+            "aes",
+            aad=b"sealed-storage",
+        )
+        store.set_log(ns, envelope.to_bytes())
+        store.counter_advance(ns, version)
+        return version
+
+    def storage_put(self, key: str, value) -> int:
+        """Set one entry; returns the new committed version."""
+        entries, version = self.storage_table()
+        entries[key] = value
+        return self.storage_commit(entries, version + 1)
+
+    def storage_get(self, key: str, default=None):
+        entries, _version = self.storage_table()
+        return entries.get(key, default)
+
+    def storage_version(self) -> int:
+        """The committed version counter (0 when the namespace is empty)."""
+        if self._journal is None:
+            return 0
+        return self._journal.store.counter(self.storage_namespace())
 
     # ------------------------------------------------------------ entropy
     def random_bytes(self, n: int) -> bytes:

@@ -232,6 +232,48 @@ def echangeout(cpu: SgxCpu, enclave: EnclaveHw, evicted: EvictedPage, va_index: 
     return _seal(state, "reg", evicted.vaddr, payload)
 
 
+def ectrout(cpu: SgxCpu, enclave: EnclaveHw, counters: dict[str, int]) -> MigratablePage:
+    """Swap out the enclave's monotonic-counter bank under the migration keys.
+
+    The §VII-B suggestions stop at memory pages; sealed storage adds one
+    more piece of state SGX v1/v2 cannot externalize — the counter bank
+    that anchors freshness.  ECTROUT seals the (name → value) bank into
+    the same MAC'd migration stream as the pages, so the proposed
+    hardware path can carry it without the software handoff step.
+    """
+    cpu.charge(cpu.costs.ewb_page_ns)
+    state = _require_migrating(enclave)
+    bank = {str(name): int(value) for name, value in counters.items()}
+    if any(value < 0 for value in bank.values()):
+        raise SgxInstructionFault("ECTROUT: counter values must be non-negative")
+    return _seal(state, "ctr", 0, pack({"counters": bank}))
+
+
+def ectrin(
+    cpu: SgxCpu, page: MigratablePage, current: dict[str, int]
+) -> dict[str, int]:
+    """Install a migrated counter bank; the hardware refuses rewinds.
+
+    ``current`` is the target CPU's view of the same counters.  A bank
+    whose value for any counter is below the local value would hand the
+    adversary a hardware-blessed rollback, so the instruction faults
+    instead of clamping — policy belongs to software, rejection to
+    hardware.
+    """
+    cpu.charge(cpu.costs.ewb_page_ns)
+    keys = _migration_keys(cpu)
+    if page.kind != "ctr":
+        raise SgxInstructionFault("ECTRIN requires a counter-bank page")
+    bank = unpack(_unseal(keys, page))["counters"]
+    for name, value in current.items():
+        incoming = int(bank.get(str(name), 0))
+        if incoming < int(value):
+            raise SgxInstructionFault(
+                f"ECTRIN: counter {name!r} would rewind from {value} to {incoming}"
+            )
+    return {str(name): int(value) for name, value in bank.items()}
+
+
 def finalize_stream(enclave: EnclaveHw) -> bytes:
     """Source-side: MAC over the whole migration stream (sent last)."""
     state = _require_migrating(enclave)

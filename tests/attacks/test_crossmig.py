@@ -1,0 +1,74 @@
+"""The cross-migration attack matrix: every attack refused, typed.
+
+Four adversaries aim at the sealed-storage handoff; the contract is
+zero silent successes — each attack must end with a typed
+:class:`~repro.errors.SealedStorageError` subclass naming the refusal,
+and the legitimate instance's state must be intact afterwards.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.crossmig import (
+    CROSS_MIGRATION_ATTACKS,
+    run_counter_fork_attack,
+    run_cross_migration_matrix,
+    run_handoff_replay_attack,
+    run_stale_checkpoint_attack,
+    run_storage_rollback_attack,
+)
+
+EXPECTED_REFUSALS = {
+    "storage-rollback": "StorageRolledBack",
+    "counter-fork": "StorageRetired",
+    "stale-checkpoint": "StorageRolledBack",
+    "handoff-replay": "HandoffReplayed",
+}
+
+
+class TestAttackMatrix:
+    def test_every_attack_is_blocked_with_a_typed_refusal(self):
+        outcomes = run_cross_migration_matrix(seed=40)
+        assert {o.attack for o in outcomes} == set(CROSS_MIGRATION_ATTACKS)
+        for outcome in outcomes:
+            assert outcome.blocked, (
+                f"{outcome.attack} succeeded silently: {outcome.detail}"
+            )
+            assert outcome.refusal == EXPECTED_REFUSALS[outcome.attack], outcome
+            assert outcome.state_intact, (
+                f"{outcome.attack} damaged legitimate state"
+            )
+
+    @pytest.mark.parametrize("seed", [40, 77])
+    def test_matrix_holds_across_seeds(self, seed):
+        outcomes = run_cross_migration_matrix(seed=seed)
+        assert all(o.blocked for o in outcomes)
+
+
+class TestIndividualAttacks:
+    def test_storage_rollback_refused_after_round_trip(self):
+        out = run_storage_rollback_attack(seed="unit/rollback")
+        assert out.blocked and out.refusal == "StorageRolledBack"
+        assert "stale" in out.detail or "rolled" in out.detail.lower()
+
+    def test_counter_fork_via_resumed_source(self):
+        """A fresh instance launched on the retired source host must be
+        refused on both read *and* write, and the real lineage must
+        survive a later hop back onto that host."""
+        out = run_counter_fork_attack(seed="unit/fork")
+        assert out.blocked and out.refusal == "StorageRetired"
+        assert out.state_intact
+
+    def test_stale_checkpoint_restore_refused(self):
+        """An orchestrator that withholds the storage handoff delivers a
+        checkpoint bound to a storage version the target never saw: the
+        target refuses to go live."""
+        out = run_stale_checkpoint_attack(seed="unit/stale")
+        assert out.blocked and out.refusal == "StorageRolledBack"
+        assert "storage version" in out.detail
+
+    def test_handoff_replay_refused_inside_the_session(self):
+        out = run_handoff_replay_attack(seed="unit/replay")
+        assert out.blocked and out.refusal == "HandoffReplayed"
+        assert out.state_intact

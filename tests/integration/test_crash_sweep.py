@@ -15,6 +15,7 @@ from repro.durability.sweep import chaos_soak, run_agent_crash_point, sweep
 
 SEED = int(os.environ.get("FAULT_SEED", "5"))
 SOAK_ITERS = int(os.environ.get("SOAK_ITERS", "4"))
+SWEEP_WORKERS = int(os.environ.get("SWEEP_WORKERS", "0"))
 
 
 @pytest.mark.sweep
@@ -23,7 +24,7 @@ class TestCrashPointSweep:
         """Crash each migration party after each record it commits: every
         point must end with exactly one live instance or a clean abort
         with zero — never a fork, never post-SPENT execution."""
-        results = sweep(seed=SEED)
+        results = sweep(seed=SEED, workers=SWEEP_WORKERS or None)
         assert len(results) >= 15  # 9 orchestrator + 3 source + 3 target
         bad = [r for r in results if not r.safe]
         assert not bad, f"unsafe crash points: {bad}"

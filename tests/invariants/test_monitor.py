@@ -98,6 +98,50 @@ class TestSentinels:
         assert any("CSSA" in v for v in tb.monitor.violations)
         tb.monitor.acknowledge()
 
+    def test_snapshot_sequence_rollback_is_caught(self):
+        """A §V-C take whose sequence is not strictly above the last take
+        for that image means a rolled-back lineage is checkpointing."""
+        tb = build_testbed(seed=101)
+        tb.trace.emit("snapshot", "take", image="db", sequence=3)
+        tb.trace.emit("snapshot", "take", image="db", sequence=4)
+        with pytest.raises(InvariantViolation):
+            tb.trace.emit("snapshot", "take", image="db", sequence=3)
+        assert any("snapshot sequence" in v for v in tb.monitor.violations)
+        tb.monitor.acknowledge()
+
+    def test_snapshot_sequences_are_tracked_per_image(self):
+        tb = build_testbed(seed=102)
+        tb.trace.emit("snapshot", "take", image="db", sequence=5)
+        tb.trace.emit("snapshot", "take", image="cache", sequence=1)
+        tb.trace.emit("snapshot", "resume", image="db", sequence=5)
+        tb.monitor.assert_clean()
+
+    def test_real_snapshot_takes_feed_the_monitor(self):
+        """SnapshotManager emits the take event the monitor watches."""
+        from repro.migration.snapshot import SnapshotManager
+
+        tb = build_testbed(seed=103)
+        app = build_counter_app(tb, tag="seq-watch")
+        manager = SnapshotManager(tb, tb.owner)
+        first = manager.snapshot(app, reason="backup")
+        second = manager.snapshot(app, reason="backup")
+        assert second.sequence > first.sequence
+        assert tb.monitor._snapshot_taken[app.image.name] == second.sequence
+        tb.monitor.assert_clean()
+
+    def test_escrow_table_leak_is_caught(self):
+        """The escrow table may never outgrow the distinct measurements
+        ever escrowed — a larger table means entries leak under churn."""
+        tb = build_testbed(seed=104)
+        tb.trace.emit("agent", "escrow", key_id="aa" * 16, table_size=1)
+        tb.trace.emit("agent", "escrow", key_id="bb" * 16, table_size=2)
+        # Re-escrow of a released measurement overwrites in place: fine.
+        tb.trace.emit("agent", "escrow", key_id="aa" * 16, table_size=2)
+        with pytest.raises(InvariantViolation):
+            tb.trace.emit("agent", "escrow", key_id="aa" * 16, table_size=3)
+        assert any("escrow table" in v for v in tb.monitor.violations)
+        tb.monitor.acknowledge()
+
     def test_acknowledge_stands_the_monitor_down(self):
         tb = build_testbed(seed=99)
         tb.trace.emit("agent", "release", key_id="cc" * 16)

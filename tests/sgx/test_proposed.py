@@ -166,6 +166,52 @@ class TestTransparentMigration:
         with pytest.raises(SgxMacMismatch):
             proposed.eswpin_secs(third, secs_blob)
 
+    def test_ectr_roundtrips_the_counter_bank(self, machines, vendor):
+        """ECTROUT/ECTRIN carry the monotonic-counter bank inside the
+        MAC'd migration stream — the hardware analogue of the software
+        storage handoff."""
+        src, tgt = machines
+        install_keys(src, tgt)
+        enclave, _ = build_raw_enclave(src, vendor)
+        proposed.emigrate(src, enclave)
+        page = proposed.ectrout(src, enclave, {"version": 5, "handoff": 2})
+        assert page.kind == "ctr"
+        bank = proposed.ectrin(tgt, page, {"version": 3, "handoff": 2})
+        assert bank == {"version": 5, "handoff": 2}
+
+    def test_ectrin_faults_on_any_rewind(self, machines, vendor):
+        """A bank below the target's local view is a hardware-blessed
+        rollback: the instruction faults instead of clamping."""
+        src, tgt = machines
+        install_keys(src, tgt)
+        enclave, _ = build_raw_enclave(src, vendor)
+        proposed.emigrate(src, enclave)
+        page = proposed.ectrout(src, enclave, {"version": 5})
+        with pytest.raises(SgxInstructionFault, match="rewind"):
+            proposed.ectrin(tgt, page, {"version": 6})
+        # A counter the bank does not carry counts as 0 — still a rewind.
+        with pytest.raises(SgxInstructionFault, match="rewind"):
+            proposed.ectrin(tgt, page, {"other": 1})
+
+    def test_ectrout_requires_migration_state(self, machines, vendor):
+        src, tgt = machines
+        install_keys(src, tgt)
+        enclave, _ = build_raw_enclave(src, vendor)
+        with pytest.raises(SgxInstructionFault):
+            proposed.ectrout(src, enclave, {"version": 1})
+        proposed.emigrate(src, enclave)
+        with pytest.raises(SgxInstructionFault, match="non-negative"):
+            proposed.ectrout(src, enclave, {"version": -1})
+
+    def test_ectrin_rejects_non_counter_pages(self, machines, vendor):
+        src, tgt = machines
+        install_keys(src, tgt)
+        enclave, _ = build_raw_enclave(src, vendor)
+        proposed.emigrate(src, enclave)
+        page_blob = proposed.eswpout(src, enclave, BASE)
+        with pytest.raises(SgxInstructionFault, match="counter-bank"):
+            proposed.ectrin(tgt, page_blob, {})
+
     def test_echangeout_rekeys_evicted_pages(self, machines, vendor):
         src, tgt = machines
         install_keys(src, tgt)
