@@ -131,6 +131,36 @@ def run_ratchet(
     return report
 
 
+def attribute_regression(
+    baseline_snapshot: str,
+    spec: str = "seed=1",
+    report_path: str | None = None,
+) -> str | None:
+    """On ratchet failure: *why* did the numbers move?
+
+    Re-runs the canonical migration (``spec``), diffs it against the
+    committed baseline run snapshot, and returns the ranked blame report
+    ("downtime +1.4 ms, 92% from journal.commit") as text.  Returns None
+    when the baseline snapshot is absent or the diff cannot be built —
+    attribution is best-effort color on a failure that already happened,
+    never a reason to mask it.
+    """
+    if not os.path.exists(baseline_snapshot):
+        return None
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    try:
+        from repro.telemetry.diff import diff_runs, resolve_run
+        from repro.telemetry.exporters import json_safe
+
+        diff = diff_runs(resolve_run(baseline_snapshot), resolve_run(spec))
+    except Exception as exc:  # pragma: no cover - defensive best-effort
+        return f"(attribution unavailable: {type(exc).__name__}: {exc})"
+    if report_path:
+        with open(report_path, "w", encoding="utf-8") as fh:
+            fh.write(diff.render_markdown())
+    return diff.render_text()
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -144,6 +174,19 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--max-regression", type=float, default=DEFAULT_MAX_REGRESSION)
     parser.add_argument("--report", default=None, help="write the JSON report here")
+    parser.add_argument(
+        "--attribution-baseline",
+        default=os.path.join(REPO_ROOT, "BENCH_baseline_run.json"),
+        help="committed run snapshot to diff a failing run against",
+    )
+    parser.add_argument(
+        "--attribution-spec", default="seed=1",
+        help="run spec to re-run for attribution (see `repro diff`)",
+    )
+    parser.add_argument(
+        "--attribution-report", default=None,
+        help="on failure, write the attribution as markdown here",
+    )
     args = parser.parse_args(argv)
 
     report = run_ratchet(
@@ -168,6 +211,14 @@ def main(argv=None) -> int:
                 )
     if report["failed"]:
         print("ratchet: FAILED (regression or missing metric)", file=sys.stderr)
+        attribution = attribute_regression(
+            args.attribution_baseline,
+            spec=args.attribution_spec,
+            report_path=args.attribution_report,
+        )
+        if attribution:
+            print("\n-- regression attribution (repro diff vs committed baseline)")
+            print(attribution)
         return 1
     print("ratchet: ok")
     return 0

@@ -22,6 +22,13 @@ Commands:
   report: who to blame for every nanosecond of total time and downtime,
   plus the causal DAG's fault summary; ``--require-blame`` turns it into
   a CI gate that fails unless the named span/transfer is on a blame path.
+* ``snapshot``  — run a migration (or load an existing snapshot) and
+  save the comparable :class:`~repro.telemetry.diff.RunSnapshot` JSON.
+* ``diff``      — compare two runs (specs or snapshot files) and rank
+  what moved; ``--attribute``/``--min-attributed-share`` turn it into a
+  CI gate on who gets the blame for a downtime delta.
+* ``profile``   — run one seeded migration under the deterministic
+  sampling profiler and emit folded stacks (flamegraph input) or JSON.
 * ``inventory`` — print the system inventory (modules and their paper
   sections).
 
@@ -373,8 +380,30 @@ def _cmd_recover(args) -> int:
         if not args.json:
             print(f"crash:   {exc}")
 
+    # A crash *pair* plan (crash-record:A:N+B:M) lands its second crash
+    # inside the first recovery; each drive consumes one fault, so
+    # re-driving converges (same bounded loop the sweep runs).
+    from repro.durability.sweep import MAX_RECOVERIES
+
+    report = None
+    recoveries = 0
     try:
-        report = MigrationRecovery(tb, app, orchestrator=orch).recover()
+        while recoveries < MAX_RECOVERIES:
+            recoveries += 1
+            try:
+                report = MigrationRecovery(tb, app, orchestrator=orch).recover()
+                break
+            except PartyCrash as exc:
+                out.setdefault("crashes_in_recovery", []).append(str(exc))
+                if not args.json:
+                    print(f"crash during recovery (re-driving): {exc}")
+            except DurabilityError as exc:
+                if isinstance(exc.__cause__, PartyCrash):
+                    out.setdefault("crashes_in_recovery", []).append(str(exc))
+                    if not args.json:
+                        print(f"crash during recovery (re-driving): {exc}")
+                    continue
+                raise
     except DurabilityError as exc:
         out.update(outcome="refused", error=f"{type(exc).__name__}: {exc}")
         if args.json:
@@ -382,6 +411,17 @@ def _cmd_recover(args) -> int:
         else:
             print(f"recovery REFUSED: {type(exc).__name__}: {exc}")
         return 3
+    if report is None:
+        out.update(
+            outcome="refused",
+            error=f"recovery did not converge within {MAX_RECOVERIES} drives",
+        )
+        if args.json:
+            print(_json_dumps(out))
+        else:
+            print(f"recovery REFUSED: no convergence in {MAX_RECOVERIES} drives")
+        return 3
+    out["recoveries"] = recoveries
     if not args.json:
         print(f"recovery: {report.outcome} — {report.detail}")
         for name, kinds in sorted(report.journal_kinds.items()):
@@ -479,6 +519,7 @@ def _cmd_metrics(args) -> int:
 
 
 def _cmd_explain(args) -> int:
+    from repro.telemetry.causal import build_dag
     from repro.telemetry.criticalpath import explain_migration
     from repro.telemetry.exporters import to_chrome_trace
     from repro.telemetry.runs import run_seeded_migration
@@ -492,6 +533,8 @@ def _cmd_explain(args) -> int:
             to_chrome_trace(tb.telemetry, network=tb.network, critical=report),
             sort_keys=True,
         )
+    elif args.format == "dot":
+        text = build_dag(tb.telemetry, tb.network).to_dot()
     else:  # text
         text = report.render_text()
     _write_or_print(text, args.out, f"{args.format} explain report")
@@ -499,6 +542,58 @@ def _cmd_explain(args) -> int:
     for query in unmatched:
         print(f"repro explain: required blame {query!r} is not on any blame path")
     return 1 if unmatched else 0
+
+
+def _cmd_snapshot(args) -> int:
+    from repro.telemetry.diff import resolve_run
+
+    snapshot = resolve_run(args.run)
+    if args.out:
+        snapshot.save(args.out)
+        print(f"wrote run snapshot to {args.out}")
+    else:
+        print(_json_dumps(snapshot.as_dict()))
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    from repro.telemetry.diff import diff_runs, resolve_run
+
+    base = resolve_run(args.base)
+    fresh = resolve_run(args.fresh)
+    diff = diff_runs(base, fresh)
+    if args.format == "json":
+        text = _json_dumps(diff.as_dict())
+    elif args.format == "markdown":
+        text = diff.render_markdown()
+    else:  # text
+        text = diff.render_text()
+    _write_or_print(text, args.out, f"{args.format} run diff")
+    if args.min_attributed_share is not None:
+        share = diff.attributed_share(args.attribute or "")
+        if share < args.min_attributed_share:
+            print(
+                f"repro diff: {args.attribute!r} explains {share:.1f}% of the "
+                f"downtime delta, below the required "
+                f"{args.min_attributed_share:.1f}%"
+            )
+            return 1
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.telemetry.runs import run_seeded_migration
+
+    tb = run_seeded_migration(
+        seed=args.seed, vm=args.vm, profile_interval_ns=args.interval_ns
+    )
+    profile = tb.telemetry.profiler.profile()
+    if args.format == "json":
+        text = _json_dumps(profile.as_dict())
+    else:  # folded
+        text = profile.folded()
+    _write_or_print(text, args.out, f"{args.format} profile")
+    return 0
 
 
 def _cmd_inventory(_args) -> int:
@@ -627,8 +722,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     explain.add_argument("--seed", default=1, help="testbed seed")
     explain.add_argument(
-        "--format", choices=("text", "json", "chrome"), default="text",
-        help="ranked text report, JSON report, or Chrome trace with overlays",
+        "--format", choices=("text", "json", "chrome", "dot"), default="text",
+        help=(
+            "ranked text report, JSON report, Chrome trace with overlays, "
+            "or the causal DAG as Graphviz source"
+        ),
     )
     explain.add_argument("--out", default="", help="write to a file instead of stdout")
     explain.add_argument(
@@ -640,6 +738,57 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     explain.set_defaults(fn=_cmd_explain)
+    snapshot = sub.add_parser(
+        "snapshot", help="run a migration (or load one) and save its run snapshot"
+    )
+    snapshot.add_argument(
+        "run",
+        help=(
+            "a run spec ('seed=1', 'seed=1,vm', 'seed=1,journal-cost-ns=524000', "
+            "optionally 'profile-ns=N') or a path to an existing snapshot"
+        ),
+    )
+    snapshot.add_argument("--out", default="", help="write to a file instead of stdout")
+    snapshot.set_defaults(fn=_cmd_snapshot)
+    diff = sub.add_parser(
+        "diff", help="compare two runs and attribute the downtime delta"
+    )
+    diff.add_argument("base", help="baseline run: a run spec or a snapshot path")
+    diff.add_argument("fresh", help="fresh run: a run spec or a snapshot path")
+    diff.add_argument(
+        "--format", choices=("text", "json", "markdown"), default="text",
+        help="ranked text report, JSON report, or a markdown summary table",
+    )
+    diff.add_argument("--out", default="", help="write to a file instead of stdout")
+    diff.add_argument(
+        "--attribute", default="", metavar="NAME",
+        help="blame unit (substring) for the --min-attributed-share gate",
+    )
+    diff.add_argument(
+        "--min-attributed-share", type=float, default=None, metavar="PCT",
+        help=(
+            "exit non-zero unless --attribute explains at least PCT%% of the "
+            "downtime delta"
+        ),
+    )
+    diff.set_defaults(fn=_cmd_diff)
+    profile = sub.add_parser(
+        "profile", help="run one seeded migration under the sampling profiler"
+    )
+    profile.add_argument("--seed", default=1, help="testbed seed")
+    profile.add_argument(
+        "--vm", action="store_true", help="profile a whole-VM migration instead"
+    )
+    profile.add_argument(
+        "--interval-ns", type=int, default=10_000,
+        help="virtual-time sampling interval in nanoseconds",
+    )
+    profile.add_argument(
+        "--format", choices=("folded", "json"), default="folded",
+        help="collapsed folded stacks (flamegraph.pl input) or JSON",
+    )
+    profile.add_argument("--out", default="", help="write to a file instead of stdout")
+    profile.set_defaults(fn=_cmd_profile)
     sub.add_parser("inventory", help="print the system inventory").set_defaults(
         fn=_cmd_inventory
     )

@@ -38,6 +38,7 @@ from typing import Any, Iterable
 from repro import serde
 from repro.durability.store import DurableStore
 from repro.errors import JournalCorrupt, JournalRolledBack
+from repro.telemetry.spans import maybe_span
 
 _FRAME_HEADER = struct.Struct("<II")  # body length, crc32(body)
 
@@ -91,7 +92,19 @@ class Journal:
         frame = _FRAME_HEADER.pack(len(body), zlib.crc32(body)) + body
         self.store.log(self.name).extend(frame)
         if not defer_charge and self.store.clock is not None and self.store.commit_cost_ns:
-            self.store.clock.advance(self.store.commit_cost_ns)
+            # The synchronous fsync stall gets its own span so the
+            # critical-path engine (and `repro diff`) can blame journal
+            # commits directly instead of smearing them over the
+            # enclosing protocol step.  Deferred charges are yielded to
+            # the scheduler and attributed to whatever runs meanwhile.
+            with maybe_span(
+                getattr(self.store, "trace", None),
+                "journal.commit",
+                party=self.party,
+                journal=self.name,
+                record_kind=kind,
+            ):
+                self.store.clock.advance(self.store.commit_cost_ns)
         self.store.counter_bump(self.name)
         if getattr(self.store, "trace", None) is not None:
             # Payload-free by construction: journal payloads may hold

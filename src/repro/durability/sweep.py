@@ -47,6 +47,12 @@ CHAOS_LABELS = ("channel-request", "channel-answer", "checkpoint-chunk", "kmigra
 CHAOS_KINDS = ("drop", "duplicate", "corrupt", "delay", "reorder")
 
 
+#: How many back-to-back recoveries one plan may force before the sweep
+#: declares the point wedged.  A crash *pair* needs two; anything past
+#: the plan's own crash count means recovery is not converging.
+MAX_RECOVERIES = 4
+
+
 @dataclass
 class CrashPointResult:
     """One crash point's end state, as the sweep judged it."""
@@ -58,6 +64,14 @@ class CrashPointResult:
     live_instances: int
     counter_ok: bool
     violations: list[str] = field(default_factory=list)
+    #: ``"source:2+target:3"`` when this point was a crash pair/chain.
+    pair: str = ""
+    #: How many recovery drives the plan forced (0 for a clean run).
+    recoveries: int = 0
+    #: Virtual time spent inside recovery, first crash to rest.
+    recovery_ns: int = 0
+    #: Folded-stack profile of the whole run, when the caller profiled.
+    profile: dict | None = None
 
     @property
     def safe(self) -> bool:
@@ -162,6 +176,89 @@ def sweep(
 
 
 # ---------------------------------------------------------------------------
+# Crash pairs: a second crash lands inside the first recovery
+# ---------------------------------------------------------------------------
+
+def run_crash_pair(
+    first: tuple[str, int],
+    second: tuple[str, int],
+    seed: int | str = 0,
+    profile_interval_ns: int | None = None,
+) -> CrashPointResult:
+    """Crash ``first`` mid-migration, then ``second`` mid-recovery.
+
+    The second :class:`~repro.faults.plan.RecordCrashFault` counts that
+    party's commits from process start, so it fires during whichever
+    drive (original run or recovery) reaches the record number — for
+    small record numbers that is the recovery re-drive.  Pass
+    ``profile_interval_ns`` to attach the sampling profiler and get a
+    folded-stack profile of the whole crash-recover-crash-recover run.
+    """
+    plan = (
+        FaultPlan(seed=seed)
+        .crash_at_record(first[0], first[1])
+        .crash_at_record(second[0], second[1])
+    )
+    pair = f"{first[0]}:{first[1]}+{second[0]}:{second[1]}"
+    return _run_plan(
+        plan,
+        party=first[0],
+        record=first[1],
+        seed=seed,
+        pair=pair,
+        profile_interval_ns=profile_interval_ns,
+    )
+
+
+def _pair_point(task) -> CrashPointResult:
+    """Module-level (hence picklable) worker for one crash pair."""
+    first, second, seed, profile_interval_ns = task
+    return run_crash_pair(
+        first, second, seed=seed, profile_interval_ns=profile_interval_ns
+    )
+
+
+def sweep_pairs(
+    seed: int | str = 0,
+    parties: tuple[str, ...] = (
+        wal.PARTY_ORCHESTRATOR,
+        wal.PARTY_SOURCE,
+        wal.PARTY_TARGET,
+    ),
+    stride: int = 2,
+    limit: int | None = None,
+    workers: int | None = None,
+    profile_interval_ns: int | None = None,
+) -> list[CrashPointResult]:
+    """A sampled sweep over (first crash, second crash) pairs.
+
+    The full pair matrix is quadratic in journal length, so this visits
+    every ``stride``-th record on each axis (``stride=1`` for the full
+    matrix) and optionally truncates at ``limit`` points.  Pair order is
+    deterministic, so a sampled prefix is a stable subset.
+    """
+    reference = reference_record_counts(seed)
+    tasks = []
+    for party_a in parties:
+        for rec_a in range(1, reference[party_a] + 1, stride):
+            for party_b in parties:
+                for rec_b in range(1, reference[party_b] + 1, stride):
+                    tasks.append(
+                        ((party_a, rec_a), (party_b, rec_b), seed, profile_interval_ns)
+                    )
+    if limit is not None:
+        tasks = tasks[:limit]
+    if workers is None or workers <= 1 or len(tasks) <= 1:
+        return [_pair_point(task) for task in tasks]
+    import multiprocessing as mp
+
+    method = "fork" if "fork" in mp.get_all_start_methods() else None
+    ctx = mp.get_context(method)
+    with ctx.Pool(processes=min(workers, len(tasks))) as pool:
+        return pool.map(_pair_point, tasks)
+
+
+# ---------------------------------------------------------------------------
 # One plan, one verdict (shared by the sweep and the chaos soak)
 # ---------------------------------------------------------------------------
 
@@ -170,13 +267,20 @@ def _run_plan(
     party: str = "",
     record: int = 0,
     seed: int | str = 0,
+    pair: str = "",
+    profile_interval_ns: int | None = None,
 ) -> CrashPointResult:
     tb = build_testbed(seed=seed)
+    if profile_interval_ns is not None:
+        tb.telemetry.ensure_profiler(profile_interval_ns).enable()
     app = build_sweep_app(tb)
     orch = MigrationOrchestrator(
         tb, retry=FAULT_TOLERANT_RETRY, faults=FaultInjector(plan)
     )
     live_app: HostApplication | None = None
+    recoveries = 0
+    recovery_started_ns: int | None = None
+    recovery_ns = 0
     try:
         result = orch.migrate_enclave(app)
         outcome, live_app = "completed", result.target_app
@@ -187,12 +291,36 @@ def _run_plan(
         if app.library.enclave_id is not None and not orch._source_crashed:
             live_app = app
     except PartyCrash:
-        report = MigrationRecovery(tb, app, orchestrator=orch).recover()
-        outcome = f"recovered:{report.outcome}"
-        if report.live_instances:
-            live_app = report.target_app if report.target_app is not None else app
+        # A crash pair/chain crashes a party *during* recovery: keep
+        # re-driving (each drive consumes one RecordCrashFault, so this
+        # converges) up to the bounded attempt budget.
+        recovery_started_ns = tb.clock.now_ns
+        outcome = "wedged"
+        while recoveries < MAX_RECOVERIES:
+            recoveries += 1
+            try:
+                report = MigrationRecovery(tb, app, orchestrator=orch).recover()
+            except PartyCrash:
+                continue
+            except ReproError as exc:
+                # A crash firing *inside* recovery (the pair's second
+                # point) surfaces wrapped, e.g. as RecoveryError with a
+                # PartyCrash cause; the fault is spent now, so re-drive.
+                if isinstance(exc.__cause__, PartyCrash):
+                    continue
+                raise
+            outcome = f"recovered:{report.outcome}"
+            if report.live_instances:
+                live_app = (
+                    report.target_app if report.target_app is not None else app
+                )
+            break
+        recovery_ns = tb.clock.now_ns - recovery_started_ns
 
     violations = _drain_monitor(tb)
+    if outcome == "wedged":
+        violations = ["recovery did not converge within "
+                      f"{MAX_RECOVERIES} drives"] + violations
     live = _live_count(tb, app, live_app)
     counter_ok = True
     if live_app is not None:
@@ -200,6 +328,7 @@ def _run_plan(
             counter_ok = live_app.ecall_once(0, "read") == COUNTER_START
         except ReproError:
             counter_ok = False
+    profiler = tb.telemetry.profiler
     return CrashPointResult(
         party=party,
         record=record,
@@ -207,6 +336,14 @@ def _run_plan(
         live_instances=live,
         counter_ok=counter_ok,
         violations=violations,
+        pair=pair,
+        recoveries=recoveries,
+        recovery_ns=recovery_ns,
+        profile=(
+            profiler.profile().as_dict()
+            if profiler is not None and profiler.sample_count
+            else None
+        ),
     )
 
 

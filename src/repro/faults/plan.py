@@ -231,8 +231,14 @@ def parse_fault_spec(spec: str) -> FaultPlan:
 
         drop|duplicate|reorder|corrupt|delay : LABEL [: NTH]
         crash : source|target : STEP
-        crash-record : PARTY : RECORD_NO
+        crash-record : PARTY : RECORD_NO [+ PARTY : RECORD_NO ...]
         partition : DURATION_MS [: LABEL [: NTH]]
+
+    The ``+``-joined crash-record form schedules a *crash pair* (or
+    longer chain): the first crash fires during the original migration,
+    each subsequent one during the recovery the previous crash forced —
+    ``crash-record:source:2+target:3`` crashes the source after its 2nd
+    record, then crashes the target after its 3rd record mid-recovery.
     """
     plan = FaultPlan()
     for item in filter(None, (s.strip() for s in spec.split(","))):
@@ -248,9 +254,19 @@ def parse_fault_spec(spec: str) -> FaultPlan:
                 raise ValueError(f"crash needs side and step: {item!r}")
             plan.crash(fields[1], fields[2])
         elif kind == "crash-record":
-            if len(fields) != 3:
-                raise ValueError(f"crash-record needs party and record number: {item!r}")
-            plan.crash_at_record(fields[1], int(fields[2]))
+            remainder = item.split(":", 1)[1] if ":" in item else ""
+            points = [p.strip() for p in remainder.split("+")]
+            if not remainder or not all(points):
+                raise ValueError(
+                    f"crash-record needs party:record pairs joined by '+': {item!r}"
+                )
+            for point in points:
+                pair = point.split(":")
+                if len(pair) != 2:
+                    raise ValueError(
+                        f"crash-record point must be PARTY:RECORD_NO, got {point!r}"
+                    )
+                plan.crash_at_record(pair[0], int(pair[1]))
         elif kind == "partition":
             if len(fields) < 2:
                 raise ValueError(f"partition needs a duration in ms: {item!r}")

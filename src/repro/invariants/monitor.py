@@ -196,6 +196,12 @@ class InvariantMonitor:
                 )
             for app in apps:
                 self._probe_cssa(app)
+        # Telemetry run-scope isolation: concurrent migrations must not
+        # bleed metric deltas into each other's per-run accounting.
+        telemetry = getattr(self.tb, "telemetry", None)
+        if telemetry is not None:
+            for message in telemetry.run_isolation_violations():
+                self._violate(message)
 
     def assert_clean(self) -> None:
         """Final verdict: re-sweep, then fail on anything ever recorded."""

@@ -164,6 +164,75 @@ class CausalDag:
             "health": self.health(),
         }
 
+    def to_dot(self) -> str:
+        """The DAG as Graphviz source (``repro explain --format dot``).
+
+        Spans cluster by party, wire records render as boxes between the
+        clusters, and fault edges stay visually distinct: a broken recv
+        edge ends in a red point node (the bytes left, nobody received
+        them), duplicates are dotted.  Output is deterministic — node
+        order follows span ids and wire sequence numbers.
+        """
+
+        def q(text: str) -> str:
+            return '"' + str(text).replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+        def label_q(*rows: str) -> str:
+            # Multi-row label: rows joined by the graphviz \n escape
+            # (which q() would defensively double — hence its own helper).
+            joined = "\\n".join(str(r).replace('"', '\\"') for r in rows)
+            return '"' + joined + '"'
+
+        lines = [
+            "digraph migration {",
+            "  rankdir=LR;",
+            '  node [fontname="monospace", fontsize=10];',
+        ]
+        parties: dict[str, list["Span"]] = {}
+        for span in self.spans:
+            parties.setdefault(span.party, []).append(span)
+        for index, party in enumerate(sorted(parties)):
+            lines.append(f"  subgraph cluster_{index} {{")
+            lines.append(f"    label={q(party)};")
+            for span in parties[party]:
+                duration = (
+                    f"{span.duration_ns / 1_000:.0f}us" if span.finished else "open"
+                )
+                shape = "ellipse" if span.status == "ok" else "doubleoctagon"
+                node = q(f"span:{span.span_id}")
+                label = label_q(span.name, duration)
+                lines.append(f"    {node} [label={label}, shape={shape}];")
+            lines.append("  }")
+        for record in self.transfers:
+            node = q(f"wire:{record.seq}")
+            label = label_q(f"{record.label} #{record.seq}", f"{record.n_bytes}B")
+            lines.append(
+                f"  {node} [label={label}, shape=box, style=filled, "
+                "fillcolor=lightyellow];"
+            )
+        styles = {
+            "parent": "[color=gray50]",
+            "send": "[color=steelblue]",
+            "recv": "[color=steelblue, style=bold]",
+            "duplicate": "[color=red, style=dotted]",
+        }
+        broken = 0
+        for edge in self.edges:
+            style = styles.get(edge.kind, "")
+            if edge.src is None:
+                continue
+            if edge.dst is None:
+                broken += 1
+                sink = f"lost:{broken}"
+                lines.append(
+                    f"  {q(sink)} [label=\"\", shape=point, color=red, width=0.15];"
+                )
+                lines.append(f"  {q(edge.src)} -> {q(sink)} [color=red, style=dashed];")
+                continue
+            lines.append(f"  {q(edge.src)} -> {q(edge.dst)} {style};".rstrip() + "")
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
 
 def build_dag(telemetry: "Telemetry", network: "Network") -> CausalDag:
     """Assemble the causal DAG from one run's spans and wire log."""

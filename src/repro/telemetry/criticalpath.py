@@ -279,11 +279,49 @@ class ExplainReport:
     def blames(self, query: str) -> bool:
         return self.total.blames(query) or self.downtime.blames(query)
 
+    # ------------------------------------------------------ counterfactuals
+    def counterfactual(self, query: str) -> dict[str, Any]:
+        """Downtime if every blamed unit matching ``query`` were free.
+
+        The blamed segments partition the downtime interval, so zeroing
+        the matched units' attributed time is a sound first-order
+        estimate: the time they *serially held* the critical path goes
+        away; second-order re-ordering effects (another unit expanding
+        into the freed window) cannot make it slower.
+        """
+        saved = sum(
+            c.duration_ns for c in self.downtime.contributions if query in c.name
+        )
+        return {
+            "query": query,
+            "saved_ns": saved,
+            "downtime_ns": self.downtime.total_ns - saved,
+            "share_pct": (
+                round(100.0 * saved / self.downtime.total_ns, 4)
+                if self.downtime.total_ns
+                else 0.0
+            ),
+        }
+
+    def counterfactuals(self) -> list[dict[str, Any]]:
+        """One "if this unit were free" estimate per downtime contributor."""
+        return [
+            {
+                "unit": c.name,
+                "kind": c.kind,
+                "saved_ns": c.duration_ns,
+                "downtime_ns": self.downtime.total_ns - c.duration_ns,
+                "share_pct": round(c.share_pct, 4),
+            }
+            for c in self.downtime.contributions
+        ]
+
     def as_dict(self) -> dict[str, Any]:
         return {
             "figures": self.figures,
             "total": self.total.as_dict(),
             "downtime": self.downtime.as_dict(),
+            "counterfactuals": self.counterfactuals(),
             "dag_health": self.dag.health(),
             "trace_ids": self.dag.trace_ids(),
         }
@@ -315,6 +353,14 @@ class ExplainReport:
                     f"({contribution.segments} segment"
                     f"{'s' if contribution.segments != 1 else ''})"
                 )
+        lines.append("")
+        lines.append("-- counterfactuals (downtime if the unit were free):")
+        for entry in self.counterfactuals()[:5]:
+            lines.append(
+                f"   if {entry['unit']:43s} were free: "
+                f"downtime = {entry['downtime_ns'] / 1e6:.3f} ms "
+                f"(-{entry['saved_ns'] / 1e6:.3f} ms)"
+            )
         health = self.dag.health()
         lines.append("")
         lines.append(

@@ -1,0 +1,200 @@
+"""Deterministic virtual-clock sampling profiler.
+
+A wall-clock sampling profiler interrupts the process every N
+microseconds of CPU time; this one "interrupts" the *virtual* clock
+every ``interval_ns`` of modelled time.  Whenever a cost charge carries
+the clock across one or more sampling boundaries, the profiler captures
+the innermost open span and its parent chain and credits the crossed
+interval(s) to that stack.  Because sampling keys off the virtual
+clock:
+
+* the profile is **deterministic** — same seed, same stacks, same
+  weights, byte-identical ``.folded`` output;
+* enabling the profiler never changes the run — it only *reads* the
+  clock and the span stacks, so virtual-time results are identical with
+  profiling on or off (overhead on modelled time is exactly zero);
+* the wall-clock cost when disabled is one ``is not None`` check per
+  clock advance (the hook slot in :class:`~repro.sim.clock.VirtualClock`).
+
+Output is the collapsed folded-stack format flamegraph tooling eats
+(``party;outer;inner weight_ns`` per line) plus a JSON form that
+round-trips through :meth:`Profile.from_dict`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry import Telemetry
+
+#: Default sampling interval: 10 µs of virtual time.  The seeded
+#: migration spans ~3 ms, so the default yields a few hundred samples —
+#: enough to resolve every protocol step without bloating artifacts.
+DEFAULT_INTERVAL_NS = 10_000
+
+#: Stack frame reported when no span is open at a sample boundary.
+IDLE_FRAME = "<idle>"
+
+
+@dataclass
+class Profile:
+    """One finished profile: stacks and their attributed virtual time."""
+
+    interval_ns: int
+    start_ns: int
+    end_ns: int
+    sample_count: int
+    #: folded stack (party first, root-to-leaf span names) → weight ns.
+    stacks: dict[tuple[str, ...], int] = field(default_factory=dict)
+
+    @property
+    def total_weight_ns(self) -> int:
+        return sum(self.stacks.values())
+
+    def weight_of(self, query: str) -> int:
+        """Virtual time attributed to stacks with a frame containing
+        ``query`` (substring match, any depth)."""
+        return sum(
+            weight
+            for frames, weight in self.stacks.items()
+            if any(query in frame for frame in frames)
+        )
+
+    def folded(self) -> str:
+        """The collapsed-stack text flamegraph tools consume."""
+        lines = [
+            f"{';'.join(frames)} {weight}"
+            for frames, weight in sorted(self.stacks.items())
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "interval_ns": self.interval_ns,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "sample_count": self.sample_count,
+            "total_weight_ns": self.total_weight_ns,
+            "stacks": {
+                ";".join(frames): weight
+                for frames, weight in sorted(self.stacks.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Profile":
+        return cls(
+            interval_ns=int(payload["interval_ns"]),
+            start_ns=int(payload["start_ns"]),
+            end_ns=int(payload["end_ns"]),
+            sample_count=int(payload["sample_count"]),
+            stacks={
+                tuple(key.split(";")): int(weight)
+                for key, weight in payload["stacks"].items()
+            },
+        )
+
+
+class SamplingProfiler:
+    """Samples the span stack at fixed virtual-time boundaries."""
+
+    def __init__(
+        self, telemetry: "Telemetry", interval_ns: int = DEFAULT_INTERVAL_NS
+    ) -> None:
+        if interval_ns <= 0:
+            raise ValueError(f"sampling interval must be positive, got {interval_ns}")
+        self.telemetry = telemetry
+        self.interval_ns = int(interval_ns)
+        self.enabled = False
+        self.sample_count = 0
+        self.samples: dict[tuple[str, ...], int] = {}
+        self._start_ns = 0
+        self._next_ns = 0
+        self._saved_hook = None
+        # Incrementally built span-id index: tracer.spans is append-only,
+        # so each sample indexes only the spans started since the last.
+        self._by_id: dict[int, Any] = {}
+        self._indexed = 0
+
+    # -------------------------------------------------------------- control
+    def enable(self) -> "SamplingProfiler":
+        """Install the clock hook; the first sample lands one interval in."""
+        if self.enabled:
+            return self
+        clock = self.telemetry.clock
+        self._saved_hook = clock.on_advance
+        self._start_ns = clock.now_ns
+        self._next_ns = clock.now_ns + self.interval_ns
+        clock.on_advance = self._on_advance
+        self.enabled = True
+        return self
+
+    def disable(self) -> "SamplingProfiler":
+        if not self.enabled:
+            return self
+        self.telemetry.clock.on_advance = self._saved_hook
+        self._saved_hook = None
+        self.enabled = False
+        return self
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.enable()
+
+    def __exit__(self, *_exc) -> None:
+        self.disable()
+
+    # ------------------------------------------------------------- sampling
+    def _on_advance(self, prev_ns: int, now_ns: int) -> None:
+        boundary = self._next_ns
+        if now_ns < boundary:
+            if self._saved_hook is not None:
+                self._saved_hook(prev_ns, now_ns)
+            return
+        # The advance crossed n boundaries; one capture covers them all
+        # (the whole advance happened under one span stack).
+        crossed = (now_ns - boundary) // self.interval_ns + 1
+        self._next_ns = boundary + crossed * self.interval_ns
+        stack = self._capture_stack()
+        self.samples[stack] = self.samples.get(stack, 0) + crossed * self.interval_ns
+        self.sample_count += crossed
+        if self._saved_hook is not None:
+            self._saved_hook(prev_ns, now_ns)
+
+    def _capture_stack(self) -> tuple[str, ...]:
+        tracer = self.telemetry.tracer
+        spans = tracer.spans
+        by_id = self._by_id
+        while self._indexed < len(spans):
+            span = spans[self._indexed]
+            by_id[span.span_id] = span
+            self._indexed += 1
+        span = tracer.active()
+        if span is None:
+            return (IDLE_FRAME,)
+        party = span.party
+        chain: list[str] = []
+        while span is not None:
+            chain.append(span.name)
+            span = by_id.get(span.parent_id) if span.parent_id is not None else None
+        chain.append(party)
+        chain.reverse()
+        return tuple(chain)
+
+    # -------------------------------------------------------------- results
+    def profile(self) -> Profile:
+        """A snapshot of everything sampled so far."""
+        return Profile(
+            interval_ns=self.interval_ns,
+            start_ns=self._start_ns,
+            end_ns=self.telemetry.clock.now_ns,
+            sample_count=self.sample_count,
+            stacks=dict(self.samples),
+        )
+
+    def reset(self) -> None:
+        self.samples.clear()
+        self.sample_count = 0
+        self._start_ns = self.telemetry.clock.now_ns
+        self._next_ns = self._start_ns + self.interval_ns

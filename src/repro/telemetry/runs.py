@@ -4,6 +4,13 @@
 the *same* seeded migration so their artifacts agree byte for byte; this
 module is that single definition.  Everything runs on the virtual clock,
 so one seed maps to exactly one trace.
+
+``repro diff`` perturbs the same run: passing ``costs`` (usually
+``dataclasses.replace(DEFAULT_COSTS, journal_commit_ns=...)``) re-runs
+the identical protocol under a different cost model, which is what makes
+two snapshots comparable span-for-span.  ``profile_interval_ns`` attaches
+the sampling profiler before the run; the profile never perturbs virtual
+time, so a profiled run stays byte-identical to an unprofiled one.
 """
 
 from __future__ import annotations
@@ -12,19 +19,26 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.migration.testbed import Testbed
+    from repro.sim.costs import CostModel
 
 
-def run_seeded_migration(seed: int | str = 1, vm: bool = False) -> "Testbed":
+def run_seeded_migration(
+    seed: int | str = 1,
+    vm: bool = False,
+    costs: "CostModel | None" = None,
+    profile_interval_ns: int | None = None,
+) -> "Testbed":
     """Run one fault-free migration and return its (telemetry-rich) testbed.
 
     ``vm=False`` migrates a single counter enclave through the two-phase
     protocol; ``vm=True`` live-migrates a whole VM carrying two enclave
     applications (the Figure-10 shape).  The returned testbed's
-    ``telemetry`` carries the spans and metrics of the run.
+    ``telemetry`` carries the spans and metrics of the run (and the
+    profiler, when ``profile_interval_ns`` is set).
     """
     if vm:
-        return _run_vm_migration(seed)
-    return _run_enclave_migration(seed)
+        return _run_vm_migration(seed, costs, profile_interval_ns)
+    return _run_enclave_migration(seed, costs, profile_interval_ns)
 
 
 def _counter_program():
@@ -43,12 +57,21 @@ def _counter_program():
     return program
 
 
-def _run_enclave_migration(seed: int | str) -> "Testbed":
-    from repro.migration.orchestrator import MigrationOrchestrator
+def _build(seed, costs, profile_interval_ns) -> "Testbed":
     from repro.migration.testbed import build_testbed
+    from repro.sim.costs import DEFAULT_COSTS
+
+    tb = build_testbed(seed=seed, costs=costs if costs is not None else DEFAULT_COSTS)
+    if profile_interval_ns is not None:
+        tb.telemetry.ensure_profiler(profile_interval_ns).enable()
+    return tb
+
+
+def _run_enclave_migration(seed, costs=None, profile_interval_ns=None) -> "Testbed":
+    from repro.migration.orchestrator import MigrationOrchestrator
     from repro.sdk import HostApplication
 
-    tb = build_testbed(seed=seed)
+    tb = _build(seed, costs, profile_interval_ns)
     built = tb.builder.build(
         "telemetry-demo", _counter_program(), n_workers=1, global_names=("n",)
     )
@@ -63,13 +86,12 @@ def _run_enclave_migration(seed: int | str) -> "Testbed":
     return tb
 
 
-def _run_vm_migration(seed: int | str) -> "Testbed":
-    from repro.migration.testbed import build_testbed
+def _run_vm_migration(seed, costs=None, profile_interval_ns=None) -> "Testbed":
     from repro.migration.vm import VmMigrationManager
     from repro.sdk import HostApplication, WorkerSpec
     from repro.workloads.apps import build_app_image
 
-    tb = build_testbed(seed=seed)
+    tb = _build(seed, costs, profile_interval_ns)
     apps = []
     for i in range(2):
         built = build_app_image(tb.builder, "cr4", flavor=f"telemetry{i}")

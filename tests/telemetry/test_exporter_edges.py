@@ -1,0 +1,128 @@
+"""Exporter edge cases: escaping, nesting across parties, round-trips."""
+
+import json
+
+from repro.telemetry.exporters import (
+    profile_record,
+    record_from_dict,
+    records_from_jsonl,
+    records_to_jsonl,
+    sketch_record,
+    to_chrome_trace,
+    to_prometheus,
+)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.profiler import Profile
+from repro.telemetry.runs import run_seeded_migration
+from repro.telemetry.sketch import QuantileSketch
+
+
+class TestPrometheusEscaping:
+    def test_label_values_with_quotes_backslashes_newlines(self):
+        registry = MetricsRegistry()
+        registry.counter("edge.total", path='C:\\tmp\\"x"', note="a\nb").inc(3)
+        text = to_prometheus(registry)
+        line = next(l for l in text.splitlines() if l.startswith("edge_total"))
+        assert '\\\\' in line  # backslash escaped
+        assert '\\"' in line  # quote escaped
+        assert "\n" not in line  # newline folded into the \n escape
+        assert "\\n" in line
+        assert line.endswith(" 3")
+
+    def test_escaping_is_idempotent_on_clean_values(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", party="source").set(1)
+        assert 'party="source"' in to_prometheus(registry)
+
+    def test_histogram_le_labels_still_render(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", party='s"rc').observe(5)
+        text = to_prometheus(registry)
+        assert 'party="s\\"rc"' in text
+        assert "h_bucket" in text and 'le="+Inf"' in text
+
+
+class TestChromeTraceNesting:
+    def test_spans_nest_within_their_party_process(self):
+        tb = run_seeded_migration(seed=1)
+        trace = to_chrome_trace(tb.telemetry, network=tb.network)
+        events = trace["traceEvents"]
+        by_name = {}
+        pid_names = {}
+        for event in events:
+            if event.get("ph") == "M" and event["name"] == "process_name":
+                pid_names[event["pid"]] = event["args"]["name"]
+        for event in events:
+            if event.get("ph") == "X" and event.get("cat") == "span":
+                by_name.setdefault(event["name"], []).append(event)
+        # journal.commit slices exist on more than one party's process.
+        commits = by_name["journal.commit"]
+        commit_parties = {pid_names[e["pid"]] for e in commits}
+        assert {"source", "target", "orchestrator"} <= commit_parties
+        # Every source-party journal.commit nests inside a span on the
+        # same pid+tid that fully contains it (well-formed nesting).
+        spans = [e for events_ in by_name.values() for e in events_]
+        for commit in commits:
+            enclosing = [
+                s
+                for s in spans
+                if s is not commit
+                and s["pid"] == commit["pid"]
+                and s["tid"] == commit["tid"]
+                and s["ts"] <= commit["ts"]
+                and s["ts"] + s["dur"] >= commit["ts"] + commit["dur"]
+            ]
+            if pid_names[commit["pid"]] == "orchestrator":
+                assert enclosing, "orchestrator commits must nest in protocol spans"
+
+    def test_wire_flow_arrows_bind_sender_and_receiver(self):
+        tb = run_seeded_migration(seed=1)
+        events = to_chrome_trace(tb.telemetry, network=tb.network)["traceEvents"]
+        starts = {e["id"] for e in events if e.get("ph") == "s"}
+        finishes = {e["id"] for e in events if e.get("ph") == "f"}
+        assert starts and starts == finishes
+
+
+class TestRecordRoundTrip:
+    def test_sketch_record_round_trip(self):
+        sketch = QuantileSketch()
+        for v in (0, 10, 200, 3_000):
+            sketch.observe(v)
+        text = records_to_jsonl([sketch_record("migration.downtime_ns", sketch)])
+        (loaded,) = records_from_jsonl(text)
+        name, clone = loaded
+        assert name == "migration.downtime_ns"
+        assert clone.count == sketch.count
+        assert clone.quantile(0.5) == sketch.quantile(0.5)
+
+    def test_profile_record_round_trip(self):
+        tb = run_seeded_migration(seed=1, profile_interval_ns=10_000)
+        profile = tb.telemetry.profiler.profile()
+        text = records_to_jsonl([profile_record(profile)])
+        (clone,) = records_from_jsonl(text)
+        assert isinstance(clone, Profile)
+        assert clone.folded() == profile.folded()
+
+    def test_mixed_stream_preserves_order_and_types(self):
+        sketch = QuantileSketch()
+        sketch.observe(7)
+        profile = Profile(
+            interval_ns=10, start_ns=0, end_ns=50, sample_count=5,
+            stacks={("p", "a"): 50},
+        )
+        text = records_to_jsonl(
+            [sketch_record("s", sketch), profile_record(profile), {"type": "other"}]
+        )
+        assert len(text.splitlines()) == 3
+        loaded = records_from_jsonl(text)
+        assert loaded[0][0] == "s"
+        assert isinstance(loaded[1], Profile)
+        assert loaded[2] == {"type": "other"}
+
+    def test_jsonl_is_deterministic(self):
+        sketch = QuantileSketch()
+        sketch.observe(3)
+        a = records_to_jsonl([sketch_record("x", sketch)])
+        b = records_to_jsonl([sketch_record("x", sketch)])
+        assert a == b
+        json.loads(a)  # single valid JSON line

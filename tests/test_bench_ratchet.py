@@ -10,7 +10,12 @@ import pytest
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "scripts"))
 
-from bench_ratchet import compare_series, main, run_ratchet  # noqa: E402
+from bench_ratchet import (  # noqa: E402
+    attribute_regression,
+    compare_series,
+    main,
+    run_ratchet,
+)
 
 
 BASELINE = {
@@ -111,6 +116,8 @@ class TestRunRatchet:
                 "--baseline-dir", str(base_dir),
                 "--fresh-dir", str(fresh_dir),
                 "--report", str(report_path),
+                # keep this unit test hermetic: no attribution re-run
+                "--attribution-baseline", str(tmp_path / "absent.json"),
             ]
         )
         assert code == 1
@@ -134,6 +141,48 @@ class TestRunRatchet:
         report = run_ratchet(("fig9",), str(base_dir), str(fresh_dir), 0.15)
         assert not report["failed"]
         assert report["figures"]["fig9"]["status"] == "no-baseline"
+
+
+class TestAttribution:
+    REPO_ROOT = os.path.join(os.path.dirname(__file__), "..")
+
+    def test_absent_baseline_snapshot_yields_none(self, tmp_path):
+        assert attribute_regression(str(tmp_path / "missing.json")) is None
+
+    def test_failure_prints_attribution(self, tmp_path, capsys):
+        """A forced ratchet failure must print the repro-diff blame
+        report against the committed baseline run snapshot."""
+        base_dir = tmp_path / "base"
+        fresh_dir = tmp_path / "fresh"
+        base_dir.mkdir(), fresh_dir.mkdir()
+        (base_dir / "BENCH_fig9.json").write_text(json.dumps(BASELINE))
+        (fresh_dir / "BENCH_fig9.json").write_text(json.dumps(_fresh(900.0, 1200.0)))
+        report_md = tmp_path / "attribution.md"
+        code = main(
+            [
+                "--figure", "fig9",
+                "--baseline-dir", str(base_dir),
+                "--fresh-dir", str(fresh_dir),
+                "--attribution-baseline",
+                os.path.join(self.REPO_ROOT, "BENCH_baseline_run.json"),
+                # perturbed spec: the attribution must blame the journal
+                "--attribution-spec", "seed=1,journal-cost-ns=524000",
+                "--attribution-report", str(report_md),
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "regression attribution" in out
+        assert "journal.commit" in out
+        assert "of delta" in out
+        md = report_md.read_text()
+        assert "journal.commit" in md and md.startswith("###")
+
+    def test_committed_baseline_snapshot_diffs_clean_against_itself(self):
+        snapshot = os.path.join(self.REPO_ROOT, "BENCH_baseline_run.json")
+        assert os.path.exists(snapshot)
+        text = attribute_regression(snapshot, spec=snapshot)
+        assert "downtime unchanged" in text
 
 
 def test_committed_baselines_pass_against_themselves():

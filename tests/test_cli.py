@@ -86,6 +86,22 @@ class TestCli:
         assert "live instances: 0" in out
         assert "invariants: CLEAN" in out
 
+    def test_recover_crash_pair_redrives(self, capsys):
+        """A second crash inside recovery re-drives instead of refusing."""
+        assert main(["recover", "--plan", "crash-record:source:2+source:3"]) == 0
+        out = capsys.readouterr().out
+        assert "crash during recovery (re-driving)" in out
+        assert "invariants: CLEAN" in out
+
+    def test_recover_crash_pair_json_counts_drives(self, capsys):
+        assert main(
+            ["recover", "--plan", "crash-record:source:2+source:3", "--json"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["recoveries"] == 2
+        assert report["crashes_in_recovery"]
+        assert report["invariants_clean"] is True
+
     def test_recover_requires_crash_record_fault(self):
         with pytest.raises(SystemExit):
             main(["recover", "--plan", "drop:kmigrate"])
@@ -197,3 +213,96 @@ class TestExplainCli:
     def test_explain_require_blame_missing_fails(self, capsys):
         assert main(["explain", "--require-blame", "no-such-unit"]) == 1
         assert "not on any blame path" in capsys.readouterr().out
+
+    def test_explain_dot_export(self, capsys, tmp_path):
+        out_path = tmp_path / "dag.dot"
+        assert main(["explain", "--format", "dot", "--out", str(out_path)]) == 0
+        dot = out_path.read_text()
+        assert dot.startswith("digraph migration {")
+        assert "cluster_" in dot  # party clusters
+        assert "->" in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_explain_text_shows_counterfactuals(self, capsys):
+        assert main(["explain"]) == 0
+        out = capsys.readouterr().out
+        assert "counterfactuals" in out
+
+    def test_explain_json_carries_counterfactuals(self, capsys):
+        assert main(["explain", "--format", "json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        entries = report["counterfactuals"]
+        assert entries
+        top = entries[0]
+        # "if <unit> were free, downtime = downtime - saved"
+        assert top["downtime_ns"] == report["downtime"]["total_ns"] - top["saved_ns"]
+
+
+class TestObservabilityCli:
+    def test_snapshot_and_diff_round_trip(self, capsys, tmp_path):
+        base = tmp_path / "base.json"
+        assert main(["snapshot", "seed=1,label=base", "--out", str(base)]) == 0
+        capsys.readouterr()
+        assert main(["diff", str(base), "seed=1"]) == 0
+        out = capsys.readouterr().out
+        assert "downtime unchanged" in out
+
+    def test_diff_attributes_journal_perturbation(self, capsys):
+        assert (
+            main(
+                [
+                    "diff", "seed=1", "seed=1,journal-cost-ns=524000",
+                    "--attribute", "journal.commit",
+                    "--min-attributed-share", "80",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "journal.commit" in out
+        assert "downtime +" in out
+
+    def test_diff_attribution_gate_fails_on_wrong_unit(self, capsys):
+        assert (
+            main(
+                [
+                    "diff", "seed=1", "seed=1,journal-cost-ns=524000",
+                    "--attribute", "establish-channel",
+                    "--min-attributed-share", "80",
+                ]
+            )
+            == 1
+        )
+        assert "below the required" in capsys.readouterr().out
+
+    def test_diff_markdown_format(self, capsys):
+        assert (
+            main(
+                [
+                    "diff", "seed=1", "seed=1,journal-cost-ns=524000",
+                    "--format", "markdown",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert out.lstrip().startswith("### repro diff")
+        assert "| downtime contributor |" in out
+
+    def test_profile_folded_deterministic(self, capsys):
+        assert main(["profile"]) == 0
+        first = capsys.readouterr().out
+        assert main(["profile"]) == 0
+        assert capsys.readouterr().out == first
+        assert "migration.run" in first
+        # folded line shape: frames;joined;by;semicolons <weight>
+        line = next(l for l in first.splitlines() if "journal.commit" in l)
+        frames, weight = line.rsplit(" ", 1)
+        assert int(weight) > 0
+
+    def test_profile_json_format(self, capsys):
+        assert main(["profile", "--format", "json", "--interval-ns", "50000"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["interval_ns"] == 50000
+        assert payload["sample_count"] > 0
+        assert payload["total_weight_ns"] > 0
