@@ -491,6 +491,12 @@ def _cmd_trace(args) -> int:
         text = json.dumps(to_chrome_trace(tel), sort_keys=True)
     elif args.format == "jsonl":
         text = to_jsonl(tel)
+    elif args.format == "otlp":
+        from repro.telemetry.otlp import default_resource, to_otlp_traces
+
+        text = _json_dumps(
+            to_otlp_traces(tel, resource=default_resource(tel, seed=str(args.seed)))
+        )
     else:  # report
         text = _json_dumps(tel.timeline().as_dict())
     _write_or_print(text, args.out, f"{args.format} trace")
@@ -505,6 +511,13 @@ def _cmd_metrics(args) -> int:
     metrics = tb.trace.metrics
     if args.format == "prom":
         text = to_prometheus(metrics)
+    elif args.format == "otlp":
+        from repro.telemetry.otlp import default_resource, to_otlp_metrics
+
+        tel = tb.telemetry
+        text = _json_dumps(
+            to_otlp_metrics(tel, resource=default_resource(tel, seed=str(args.seed)))
+        )
     else:  # json
         text = _json_dumps(metrics.snapshot())
     _write_or_print(text, args.out, f"{args.format} metrics snapshot")
@@ -516,6 +529,54 @@ def _cmd_metrics(args) -> int:
             print(f"repro metrics: required metric {name!r} is absent or zero")
             failed = True
     return 1 if failed else 0
+
+
+def _cmd_fleet(args) -> int:
+    from repro.fleet import FleetConfig, FleetConsole, FleetRunner, write_fleet_bench
+
+    seeds = tuple(s.strip() for s in str(args.seeds).split(",") if s.strip())
+    try:
+        config = FleetConfig(
+            n=args.n,
+            seeds=tuple(int(s) if s.isdigit() else s for s in seeds) or (1,),
+            max_inflight=args.max_inflight,
+            hops=args.hops,
+            fault_every=args.fault_every,
+            fault_spec=args.fault_plan,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"repro fleet: {exc}")
+    console = FleetConsole(
+        n=config.n,
+        stream=sys.stdout if args.watch else None,
+        frame_every=args.frame_every if args.watch else 0,
+    )
+    report = FleetRunner(config, on_record=console.on_record).run()
+    snapshot = console.snapshot(report)
+    if args.console_out:
+        with open(args.console_out, "w", encoding="utf-8") as fh:
+            fh.write(snapshot)
+        print(f"wrote console snapshot to {args.console_out}", file=sys.stderr)
+    if args.otlp_out:
+        import os as _os
+
+        _os.makedirs(args.otlp_out, exist_ok=True)
+        metrics_path = _os.path.join(args.otlp_out, "fleet-metrics.otlp.json")
+        with open(metrics_path, "w", encoding="utf-8") as fh:
+            fh.write(_json_dumps(report.otlp_metrics()) + "\n")
+        if report.otlp_traces_sample is not None:
+            traces_path = _os.path.join(args.otlp_out, "sample-trace.otlp.json")
+            with open(traces_path, "w", encoding="utf-8") as fh:
+                fh.write(_json_dumps(report.otlp_traces_sample) + "\n")
+        print(f"wrote OTLP artifacts to {args.otlp_out}", file=sys.stderr)
+    bench_path = write_fleet_bench(report, bench_dir=args.bench_dir or None)
+    if bench_path:
+        print(f"wrote {report.config.series_key()} to {bench_path}", file=sys.stderr)
+    if args.json:
+        print(_json_dumps(report.as_dict()))
+    else:
+        print(snapshot, end="")
+    return 1 if report.failed else 0
 
 
 def _cmd_explain(args) -> int:
@@ -695,8 +756,11 @@ def main(argv: list[str] | None = None) -> int:
         "--vm", action="store_true", help="trace a whole-VM migration instead"
     )
     trace.add_argument(
-        "--format", choices=("chrome", "jsonl", "report"), default="chrome",
-        help="chrome trace_event JSON, JSONL dump, or the phase-timeline report",
+        "--format", choices=("chrome", "jsonl", "otlp", "report"), default="chrome",
+        help=(
+            "chrome trace_event JSON, JSONL dump, OTLP/JSON traces, or the "
+            "phase-timeline report"
+        ),
     )
     trace.add_argument("--out", default="", help="write to a file instead of stdout")
     trace.set_defaults(fn=_cmd_trace)
@@ -708,8 +772,8 @@ def main(argv: list[str] | None = None) -> int:
         "--vm", action="store_true", help="measure a whole-VM migration instead"
     )
     metrics.add_argument(
-        "--format", choices=("prom", "json"), default="prom",
-        help="Prometheus text exposition or the JSON snapshot",
+        "--format", choices=("prom", "json", "otlp"), default="prom",
+        help="Prometheus text exposition, the JSON snapshot, or OTLP/JSON",
     )
     metrics.add_argument("--out", default="", help="write to a file instead of stdout")
     metrics.add_argument(
@@ -717,6 +781,56 @@ def main(argv: list[str] | None = None) -> int:
         help="exit non-zero unless this metric exists and is non-zero (repeatable)",
     )
     metrics.set_defaults(fn=_cmd_metrics)
+    fleet = sub.add_parser(
+        "fleet",
+        help="run N seeded migrations under the fleet SLO plane",
+    )
+    fleet.add_argument("--n", type=int, default=16, help="number of migrations")
+    fleet.add_argument(
+        "--seeds", default="1",
+        help="comma-separated base seeds, cycled across migrations",
+    )
+    fleet.add_argument(
+        "--max-inflight", type=int, default=8, dest="max_inflight",
+        help="concurrent admission slots on the fleet timeline",
+    )
+    fleet.add_argument(
+        "--hops", type=int, default=1,
+        help="hops per migration (>1 drives an N-hop chain)",
+    )
+    fleet.add_argument(
+        "--fault-every", type=int, default=0, dest="fault_every", metavar="K",
+        help="inject the fault plan into every K-th migration (0 = never)",
+    )
+    fleet.add_argument(
+        "--fault-plan", default="delay:checkpoint:1", dest="fault_plan",
+        help="fault spec for the --fault-every cadence",
+    )
+    fleet.add_argument(
+        "--watch", action="store_true",
+        help="print live console frames as migrations complete",
+    )
+    fleet.add_argument(
+        "--frame-every", type=int, default=8, dest="frame_every",
+        help="with --watch, emit a frame every this-many completions",
+    )
+    fleet.add_argument(
+        "--console-out", default="", dest="console_out",
+        help="write the final console snapshot to a file",
+    )
+    fleet.add_argument(
+        "--otlp-out", default="", dest="otlp_out",
+        help="directory for OTLP artifacts (fleet metrics + sample trace)",
+    )
+    fleet.add_argument(
+        "--bench-dir", default="", dest="bench_dir",
+        help="merge this run's series into BENCH_fleet.json here "
+        "(default: $REPRO_BENCH_DIR)",
+    )
+    fleet.add_argument(
+        "--json", action="store_true", help="print the full fleet report as JSON"
+    )
+    fleet.set_defaults(fn=_cmd_fleet)
     explain = sub.add_parser(
         "explain", help="run one seeded migration and print its critical path"
     )

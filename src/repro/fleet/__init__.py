@@ -1,0 +1,28 @@
+"""Fleet-scale migration runs: N seeded migrations under one SLO plane.
+
+The paper evaluates one migration at a time; the ROADMAP's north star is
+a datacenter scheduler draining hundreds of enclaves concurrently.  This
+package is the first concrete step: a deterministic multi-migration
+runner (:class:`~repro.fleet.runner.FleetRunner`) whose per-migration
+telemetry feeds the streaming bus, the SLO engine, and a curses-free
+live console (:class:`~repro.fleet.console.FleetConsole`) — surfaced as
+``repro fleet``.
+"""
+
+from repro.fleet.console import FleetConsole
+from repro.fleet.runner import (
+    FleetConfig,
+    FleetReport,
+    FleetRunner,
+    MigrationRecord,
+    write_fleet_bench,
+)
+
+__all__ = [
+    "FleetConfig",
+    "FleetConsole",
+    "FleetReport",
+    "FleetRunner",
+    "MigrationRecord",
+    "write_fleet_bench",
+]

@@ -1,0 +1,423 @@
+"""Deterministic concurrent multi-migration runner with a fleet SLO plane.
+
+:class:`FleetRunner` drives N seeded migrations through the full §IV/§V
+protocol — each on its own testbed (own virtual clock, own telemetry,
+own flight recorder namespaced by migration id) — and composes them
+into one *fleet timeline* with a deterministic admission model:
+
+* the fleet has ``max_inflight`` slots; migration *i* is admitted at
+  the earliest time a slot frees up and occupies its slot for exactly
+  the virtual duration its own testbed clock measured;
+* every per-migration sample (run-scope delta) is stamped with its
+  fleet *completion* time and fed to the shared
+  :class:`~repro.telemetry.slo.SloEngine`, so burn-rate alerts fire at
+  deterministic fleet times;
+* per-migration downtime feeds one mergeable
+  :class:`~repro.telemetry.sketch.QuantileSketch` — the fleet p50/p99
+  the console and ``BENCH_fleet.json`` report.
+
+Because execution is serial Python over virtual clocks, the whole run
+is a pure function of its configuration: same seeds → byte-identical
+``BENCH_fleet.json``, console snapshot, and OTLP artifacts.  Faults are
+injected on a deterministic cadence (``fault_every``) so CI can assert
+the SLO engine actually fires under load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.telemetry.sketch import QuantileSketch
+from repro.telemetry.slo import SloEngine, SloObjective, SloViolation, default_objectives
+
+__all__ = [
+    "FleetConfig",
+    "FleetReport",
+    "FleetRunner",
+    "MigrationRecord",
+    "write_fleet_bench",
+]
+
+#: Default fault spec for the injected-fault cadence: a 5 ms delay on
+#: the checkpoint message lands inside stop-and-copy, pushing downtime
+#: from ~28.8 ms to ~33.8 ms — past the default 30 ms SLO budget.
+DEFAULT_FAULT_SPEC = "delay:checkpoint:1"
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """One fleet run, fully determined by this value."""
+
+    n: int = 16
+    #: Base seeds, cycled across migrations; each migration derives
+    #: ``"<seed>/mig<i>"`` so same-seed migrations still jitter apart.
+    seeds: tuple[int | str, ...] = (1,)
+    max_inflight: int = 8
+    #: Hops per migration; >1 drives an N-hop chain (same enclave
+    #: ping-ponged) instead of a single source→target migration.
+    hops: int = 1
+    #: Inject ``fault_spec`` into every k-th migration (0 = never).
+    fault_every: int = 0
+    fault_spec: str = DEFAULT_FAULT_SPEC
+    objectives: tuple[SloObjective, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError("fleet needs at least one migration")
+        if not self.seeds:
+            raise ValueError("fleet needs at least one seed")
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        if self.hops < 1:
+            raise ValueError("hops must be at least 1")
+        if self.fault_every < 0:
+            raise ValueError("fault_every cannot be negative")
+
+    def seed_for(self, index: int) -> str:
+        base = self.seeds[index % len(self.seeds)]
+        return f"{base}/mig{index:04d}"
+
+    def mig_id(self, index: int) -> str:
+        base = self.seeds[index % len(self.seeds)]
+        return f"mig{index:04d}-s{base}"
+
+    def faulted(self, index: int) -> bool:
+        return self.fault_every > 0 and index % self.fault_every == 0
+
+    def series_key(self) -> str:
+        """The BENCH_fleet.json series this configuration writes."""
+        seeds = "-".join(str(s) for s in self.seeds)
+        key = f"n{self.n}_seeds{seeds}_inflight{self.max_inflight}"
+        if self.hops > 1:
+            key += f"_hops{self.hops}"
+        if self.fault_every:
+            key += f"_fault{self.fault_every}"
+        return key
+
+
+@dataclass
+class MigrationRecord:
+    """One migration's place on the fleet timeline."""
+
+    index: int
+    mig_id: str
+    seed: str
+    status: str                  # "ok" | "failed"
+    faulted: bool
+    start_ns: int                # fleet admission time
+    end_ns: int                  # fleet completion time
+    duration_ns: int             # the migration's own virtual duration
+    downtime_ns: int | None
+    total_ns: int | None
+    outcome: str = "migrated"
+    error: str | None = None
+    #: Alerts that fired or cleared because of this migration's samples.
+    alerts: list[str] = field(default_factory=list)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "mig_id": self.mig_id,
+            "seed": self.seed,
+            "status": self.status,
+            "faulted": self.faulted,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "duration_ns": self.duration_ns,
+            "downtime_ns": self.downtime_ns,
+            "total_ns": self.total_ns,
+            "outcome": self.outcome,
+            "error": self.error,
+            "alerts": list(self.alerts),
+        }
+
+
+@dataclass
+class FleetReport:
+    """Outcome of one fleet run."""
+
+    config: FleetConfig
+    records: list[MigrationRecord]
+    downtime_sketch: QuantileSketch
+    slo: SloEngine
+    #: OTLP sample artifacts: the first migration's traces document and
+    #: a fleet-level metrics document carrying the downtime sketch.
+    otlp_traces_sample: dict[str, Any] | None = None
+
+    @property
+    def makespan_ns(self) -> int:
+        return max((r.end_ns for r in self.records), default=0)
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for r in self.records if r.status == "ok")
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for r in self.records if r.status != "ok")
+
+    @property
+    def migrations_per_sec(self) -> float:
+        makespan = self.makespan_ns
+        if makespan <= 0:
+            return 0.0
+        return len(self.records) / (makespan / 1e9)
+
+    def bench_payload(self) -> dict[str, float]:
+        """Lower-is-better leaves for the bench ratchet."""
+        sketch = self.downtime_sketch
+        return {
+            "makespan_ns": float(self.makespan_ns),
+            "ns_per_migration": (
+                self.makespan_ns / len(self.records) if self.records else 0.0
+            ),
+            "downtime_p50_ns": sketch.p50,
+            "downtime_p99_ns": sketch.p99,
+        }
+
+    def otlp_metrics(self) -> dict[str, Any]:
+        """Fleet-level OTLP metrics: the downtime sketch as a histogram."""
+        from repro.telemetry.otlp import _attributes, SCOPE, sketch_to_otlp_histogram
+
+        resource = {
+            "service.name": "repro-fleet",
+            "fleet.n": self.config.n,
+            "fleet.seeds": ",".join(str(s) for s in self.config.seeds),
+            "crypto.backend": os.environ.get("REPRO_CRYPTO_BACKEND", "reference"),
+        }
+        metrics = [
+            sketch_to_otlp_histogram(
+                "fleet.downtime_ns", self.downtime_sketch, t_ns=self.makespan_ns
+            )
+        ]
+        return {
+            "resourceMetrics": [
+                {
+                    "resource": {"attributes": _attributes(resource)},
+                    "scopeMetrics": [{"scope": dict(SCOPE), "metrics": metrics}],
+                }
+            ]
+        }
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "n": self.config.n,
+            "seeds": [str(s) for s in self.config.seeds],
+            "max_inflight": self.config.max_inflight,
+            "hops": self.config.hops,
+            "fault_every": self.config.fault_every,
+            "makespan_ns": self.makespan_ns,
+            "migrations_per_sec": self.migrations_per_sec,
+            "completed": self.completed,
+            "failed": self.failed,
+            "downtime": {
+                "p50_ns": self.downtime_sketch.p50,
+                "p95_ns": self.downtime_sketch.p95,
+                "p99_ns": self.downtime_sketch.p99,
+                "count": self.downtime_sketch.count,
+            },
+            "slo": self.slo.as_dict(),
+            "records": [r.as_dict() for r in self.records],
+        }
+
+
+class FleetRunner:
+    """Runs a :class:`FleetConfig` to a :class:`FleetReport`.
+
+    ``on_record`` (if given) is called after every migration completes,
+    with the fresh :class:`MigrationRecord` and the runner itself — the
+    live console hook.
+    """
+
+    def __init__(
+        self,
+        config: FleetConfig,
+        on_record: Callable[[MigrationRecord, "FleetRunner"], None] | None = None,
+    ) -> None:
+        self.config = config
+        self.on_record = on_record
+        self.records: list[MigrationRecord] = []
+        self.downtime_sketch = QuantileSketch()
+        self.slo = SloEngine(config.objectives or default_objectives())
+        self._slots = [0] * config.max_inflight
+
+    # ------------------------------------------------------------------- run
+    def run(self) -> FleetReport:
+        otlp_sample = None
+        for index in range(self.config.n):
+            record, traces_doc = self._run_one(index)
+            if index == 0:
+                otlp_sample = traces_doc
+            self.records.append(record)
+            if self.on_record is not None:
+                self.on_record(record, self)
+        return FleetReport(
+            config=self.config,
+            records=self.records,
+            downtime_sketch=self.downtime_sketch,
+            slo=self.slo,
+            otlp_traces_sample=otlp_sample,
+        )
+
+    @property
+    def fleet_now_ns(self) -> int:
+        """Latest completion time on the fleet timeline so far."""
+        return max((r.end_ns for r in self.records), default=0)
+
+    @property
+    def inflight_at_now(self) -> int:
+        now = self.fleet_now_ns
+        return sum(1 for t in self._slots if t > now)
+
+    # ------------------------------------------------------------ one flight
+    def _run_one(self, index: int) -> tuple[MigrationRecord, dict[str, Any] | None]:
+        from repro.errors import MigrationAborted, ReproError
+        from repro.faults import FaultInjector, parse_fault_spec
+        from repro.migration.chain import run_chain
+        from repro.migration.orchestrator import MigrationOrchestrator
+        from repro.migration.testbed import build_testbed
+        from repro.sdk import AtomicEntry, EnclaveProgram, HostApplication
+        from repro.telemetry.otlp import default_resource, to_otlp_traces
+
+        config = self.config
+        mig_id = config.mig_id(index)
+        seed = config.seed_for(index)
+        faulted = config.faulted(index)
+
+        tb = build_testbed(seed=seed)
+        telemetry = tb.telemetry
+        telemetry.flightrecorder.namespace = mig_id
+        telemetry.ensure_bus()
+
+        program = EnclaveProgram("fleet/counter-v1")
+        program.add_entry(
+            "incr",
+            AtomicEntry(
+                lambda rt, args: (
+                    rt.store_global(
+                        "n", rt.load_global("n") + int(1 if args is None else args)
+                    )
+                    or rt.load_global("n")
+                )
+            ),
+        )
+        built = tb.builder.build(
+            "fleet-enclave", program, n_workers=1, global_names=("n",)
+        )
+        tb.owner.register_image(built)
+        app = HostApplication(
+            tb.source, tb.source_os, built.image, [], owner=tb.owner
+        ).launch()
+        for _ in range(3):
+            app.ecall_once(0, "incr")
+
+        plan = None
+        if faulted:
+            plan = parse_fault_spec(config.fault_spec)
+            plan.seed = seed
+
+        status, outcome, error = "ok", "migrated", None
+        try:
+            if config.hops > 1:
+                chain = run_chain(
+                    tb, app, config.hops, plans={1: plan} if plan else None
+                )
+                outcome = chain.hops[-1].outcome
+            else:
+                orch = MigrationOrchestrator(
+                    tb, faults=FaultInjector(plan) if plan else None
+                )
+                orch.migrate_enclave(app)
+        except (MigrationAborted, ReproError) as exc:
+            status, outcome, error = "failed", "aborted", str(exc)
+
+        # ---------------------------------------------------- fleet timeline
+        duration = tb.clock.now_ns
+        slot = min(range(len(self._slots)), key=lambda i: self._slots[i])
+        start = self._slots[slot]
+        end = start + duration
+        self._slots[slot] = end
+
+        # ------------------------------------------------------- SLO + sketch
+        downtime = total = None
+        alerts: list[str] = []
+        for run_id in sorted(telemetry.run_metrics):
+            delta = telemetry.run_metrics[run_id]
+            value = delta.get("migration.downtime_ns")
+            if isinstance(value, (int, float)) and value >= 0:
+                self.downtime_sketch.observe(value)
+                downtime = int(value) if downtime is None else max(downtime, int(value))
+            t = delta.get("migration.total_ns")
+            if isinstance(t, (int, float)):
+                total = int(t) if total is None else total + int(t)
+            # Violations emit into *this* migration's telemetry, so its
+            # flight recorder dumps the alert under the mig-id namespace.
+            fresh = self.slo.ingest_run(end, delta, source=mig_id, emit_to=telemetry)
+            alerts.extend(self._alert_line(v) for v in fresh)
+        if status == "failed" and not telemetry.run_metrics:
+            # The run never opened a scope; a refusal is still a sample.
+            fresh = self.slo.ingest_run(
+                end, {"migration.aborts_total": 1}, source=mig_id, emit_to=telemetry
+            )
+            alerts.extend(self._alert_line(v) for v in fresh)
+
+        traces_doc = None
+        if index == 0:
+            traces_doc = to_otlp_traces(
+                telemetry, resource=default_resource(telemetry, **{"fleet.mig": mig_id})
+            )
+        telemetry.bus.finalize()
+
+        return (
+            MigrationRecord(
+                index=index,
+                mig_id=mig_id,
+                seed=seed,
+                status=status,
+                faulted=faulted,
+                start_ns=start,
+                end_ns=end,
+                duration_ns=duration,
+                downtime_ns=downtime,
+                total_ns=total,
+                outcome=outcome,
+                error=error,
+                alerts=alerts,
+            ),
+            traces_doc,
+        )
+
+    @staticmethod
+    def _alert_line(violation: SloViolation) -> str:
+        return f"{violation.objective}/{violation.burn_label}:{violation.kind}"
+
+
+# ------------------------------------------------------------------- ratchet
+
+def write_fleet_bench(
+    report: FleetReport, bench_dir: str | None = None
+) -> str | None:
+    """Merge this run's series into ``BENCH_fleet.json``.
+
+    Same read-modify-write shape as the benchmark harness (sorted keys,
+    two-space indent, trailing newline), so the ratchet and CI diff the
+    file byte-wise.  ``bench_dir`` defaults to ``$REPRO_BENCH_DIR``;
+    returns ``None`` (writing nothing) when neither is set.
+    """
+    directory = bench_dir or os.environ.get("REPRO_BENCH_DIR")
+    if not directory:
+        return None
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, "BENCH_fleet.json")
+    existing: dict[str, Any] = {}
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as fh:
+            existing = json.load(fh)
+    existing[report.config.series_key()] = report.bench_payload()
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(existing, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

@@ -75,6 +75,12 @@ class InvariantMonitor:
         self.check_interval = check_interval
         self.enabled = True
         self.violations: list[str] = []
+        #: SLO burn-rate violations observed on the trace.  These are a
+        #: *soft* ledger: an SLO breach is an operational incident, not a
+        #: safety-property failure, so it is recorded here (and visible
+        #: to the CLI and the fleet console) without tripping
+        #: :meth:`assert_clean` — tests intentionally fire alerts.
+        self.slo_violations: list[str] = []
         self._tick = 0
         self._lineages: dict[int, list["HostApplication"]] = {}
         self._app_lineage: dict[int, int] = {}  # id(app) -> lineage
@@ -139,6 +145,11 @@ class InvariantMonitor:
 
     def _on_event(self, event) -> None:
         if not self.enabled:
+            return
+        if event.category == "slo" and event.name == "violation":
+            self.slo_violations.append(
+                str(event.payload.get("message") or event.payload)
+            )
             return
         if event.category == "agent" and event.name == "release":
             key_id = str(event.payload.get("key_id"))

@@ -22,6 +22,7 @@ from repro.telemetry.metrics import (
     GaugeMetric,
     HistogramMetric,
     MetricsRegistry,
+    metric_key,
 )
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -346,7 +347,10 @@ def to_prometheus(metrics: MetricsRegistry) -> str:
     """Prometheus text exposition format of the registry's current state."""
     lines: list[str] = []
     seen_types: set[str] = set()
-    for instrument in sorted(metrics, key=lambda i: (i.name, sorted(i.labels.items()))):
+    # Sort by the canonical series key *string*: total, deterministic,
+    # and safe with mixed-type label values (tuple-of-items sorting
+    # raises TypeError comparing an int label against a str one).
+    for instrument in sorted(metrics, key=lambda i: metric_key(i.name, i.labels)):
         name = _prom_name(instrument.name)
         if name not in seen_types:
             seen_types.add(name)

@@ -32,6 +32,7 @@ TRIGGER_EVENTS: frozenset[tuple[str, str]] = frozenset(
         ("migration", "step_timeout"),
         ("fault", "crash"),
         ("fault", "party_crash"),
+        ("slo", "violation"),
     }
 )
 
@@ -76,10 +77,16 @@ class FlightRecorder:
         capacity: int = 64,
         max_dumps: int = 8,
         dump_dir: str | None = None,
+        namespace: str | None = None,
     ) -> None:
         self.telemetry = telemetry
         self.capacity = capacity
         self.max_dumps = max_dumps
+        #: Dump-file namespace; the fleet runner sets this to the
+        #: migration id so concurrent migrations can never clobber each
+        #: other's dump files.  Defaults to the run's trace id at dump
+        #: time (which the orchestrator sets per migration).
+        self.namespace = namespace
         #: Directory dumps are mirrored into as JSON files; defaults to
         #: ``$REPRO_FLIGHT_DIR`` (unset = in-memory only).
         self.dump_dir = dump_dir if dump_dir is not None else os.environ.get(
@@ -157,13 +164,24 @@ class FlightRecorder:
             if key.startswith(prefixes)
         }
 
+    def _namespace(self, snapshot: dict[str, Any]) -> str:
+        raw = self.namespace or snapshot.get("trace_id") or "run"
+        slug = "".join(c if c.isalnum() else "-" for c in str(raw))
+        return slug or "run"
+
     def _write(self, snapshot: dict[str, Any]) -> str | None:
         if not self.dump_dir:
             return None
         global _DUMP_SEQ
         _DUMP_SEQ += 1
         slug = "".join(c if c.isalnum() else "-" for c in snapshot["trigger"])
-        path = os.path.join(self.dump_dir, f"flight-{_DUMP_SEQ:04d}-{slug}.json")
+        # The migration-id namespace keeps concurrent fleet dumps apart;
+        # the global sequence keeps same-namespace dumps ordered and
+        # unique even across recorder instances.
+        path = os.path.join(
+            self.dump_dir,
+            f"flight-{self._namespace(snapshot)}-{_DUMP_SEQ:04d}-{slug}.json",
+        )
         try:
             os.makedirs(self.dump_dir, exist_ok=True)
             with open(path, "w", encoding="utf-8") as fh:

@@ -1,0 +1,448 @@
+"""Streaming telemetry bus: bounded, backpressured fan-out of live records.
+
+The exporters in :mod:`repro.telemetry.exporters` are end-of-run
+snapshots: they walk the finished trace after the migration is over.  A
+fleet cannot wait for the end of the run — an operator watching 256
+concurrent migrations needs spans, metric deltas, and violations *as
+they happen*, in virtual-clock order, delivered to several consumers at
+once (the SLO engine, the OTLP/console exporters, the live console).
+
+This module is that delivery plane:
+
+* :class:`StreamRecord` — one typed, immutable record on the bus:
+  an ``event`` (every trace emit, including span start/end markers and
+  invariant/SLO violations), a ``span`` (the full finished span,
+  published at its end time), or a ``metric`` (one closed per-migration
+  run delta, published when the run scope closes).
+* :class:`TelemetryBus` — the fan-out point.  Every subscriber is
+  **bounded**: push consumers (``callback=``) absorb backpressure by
+  being flushed synchronously whenever their buffer fills (the
+  *publisher* pays the delivery cost — nothing is ever silently lost),
+  and poll consumers choose a drop policy (``drop_oldest`` /
+  ``drop_newest``) whose drops are counted, never silent.
+* :meth:`TelemetryBus.attach` — tails one :class:`~repro.telemetry.Telemetry`:
+  an observer on the event trace converts every emit into a live record,
+  and finished spans are published at the moment they close.  ``replay=True``
+  first publishes the history already in the trace, so a subscriber that
+  attaches mid-run still sees the complete stream.
+* :func:`merge_records` — heap-merge of several per-migration streams
+  into one fleet stream, ordered by (virtual time, migration, sequence):
+  the primitive the fleet runner uses to interleave N concurrent
+  migrations into one causally ordered feed.
+* :func:`jsonl_from_records` — renders a captured stream in exactly the
+  format of :func:`repro.telemetry.exporters.to_jsonl`, which is what
+  lets the test-suite prove the live stream loses nothing relative to
+  the end-of-run snapshot export.
+
+Everything here is pure bookkeeping on the virtual clock: publishing
+never advances time, so a run with a bus attached is byte-identical to
+one without.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry import Telemetry
+
+__all__ = [
+    "POLICIES",
+    "StreamRecord",
+    "Subscriber",
+    "TelemetryBus",
+    "jsonl_from_records",
+    "merge_records",
+]
+
+#: Record kinds on the bus.
+KIND_EVENT = "event"
+KIND_SPAN = "span"
+KIND_METRIC = "metric"
+
+#: Poll-subscriber overflow policies.
+POLICY_DROP_OLDEST = "drop_oldest"
+POLICY_DROP_NEWEST = "drop_newest"
+POLICIES = (POLICY_DROP_OLDEST, POLICY_DROP_NEWEST)
+
+
+@dataclass(frozen=True)
+class StreamRecord:
+    """One immutable record on the bus.
+
+    ``seq`` is the bus-global publish sequence — a total order that
+    breaks ties between records stamped at the same virtual time.
+    ``source`` scopes the record to a migration (the fleet runner sets
+    it to the migration id; a single-testbed tail leaves it empty).
+    """
+
+    seq: int
+    t_ns: int
+    kind: str
+    payload: dict[str, Any]
+    source: str = ""
+
+    def sort_key(self) -> tuple[int, str, int]:
+        return (self.t_ns, self.source, self.seq)
+
+
+class Subscriber:
+    """One bounded consumer endpoint on the bus.
+
+    Push consumers (``callback`` set) receive *batches*: records buffer
+    until ``capacity`` is reached, then the whole batch is delivered
+    synchronously — backpressure lands on the publisher, not the floor.
+    Poll consumers (:meth:`poll`) hold a bounded queue and shed load per
+    their ``policy``, counting every dropped record.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        capacity: int = 1024,
+        policy: str = POLICY_DROP_OLDEST,
+        callback: Callable[[list[StreamRecord]], None] | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"subscriber {name!r} needs capacity >= 1")
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown overflow policy {policy!r} (expected one of {POLICIES})"
+            )
+        self.name = name
+        self.capacity = capacity
+        self.policy = policy
+        self.callback = callback
+        self.delivered = 0
+        self.dropped = 0
+        #: Synchronous flushes forced by a full buffer (push consumers).
+        self.backpressure_flushes = 0
+        self._queue: deque[StreamRecord] = deque()
+
+    # ------------------------------------------------------------------ intake
+    def _offer(self, record: StreamRecord) -> None:
+        if self.callback is not None:
+            self._queue.append(record)
+            if len(self._queue) >= self.capacity:
+                self.backpressure_flushes += 1
+                self.flush()
+            return
+        if len(self._queue) >= self.capacity:
+            if self.policy == POLICY_DROP_NEWEST:
+                self.dropped += 1
+                return
+            self._queue.popleft()
+            self.dropped += 1
+        self._queue.append(record)
+
+    # ----------------------------------------------------------------- egress
+    def flush(self) -> int:
+        """Deliver everything buffered to the callback; returns the count."""
+        if self.callback is None or not self._queue:
+            return 0
+        batch = list(self._queue)
+        self._queue.clear()
+        self.delivered += len(batch)
+        self.callback(batch)
+        return len(batch)
+
+    def poll(self, max_records: int | None = None) -> list[StreamRecord]:
+        """Drain up to ``max_records`` queued records (all by default)."""
+        n = len(self._queue) if max_records is None else min(max_records, len(self._queue))
+        out = [self._queue.popleft() for _ in range(n)]
+        self.delivered += len(out)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class TelemetryBus:
+    """Fan-out point for live telemetry records."""
+
+    def __init__(self) -> None:
+        self.subscribers: dict[str, Subscriber] = {}
+        self.published = 0
+        self._seq = 0
+        self._taps: list["_Tap"] = []
+
+    # -------------------------------------------------------------- subscribe
+    def subscribe(
+        self,
+        name: str,
+        capacity: int = 1024,
+        policy: str = POLICY_DROP_OLDEST,
+        callback: Callable[[list[StreamRecord]], None] | None = None,
+    ) -> Subscriber:
+        if name in self.subscribers:
+            raise ValueError(f"subscriber {name!r} already exists on this bus")
+        subscriber = Subscriber(name, capacity=capacity, policy=policy, callback=callback)
+        self.subscribers[name] = subscriber
+        return subscriber
+
+    def unsubscribe(self, name: str) -> None:
+        self.subscribers.pop(name, None)
+
+    # ---------------------------------------------------------------- publish
+    def publish(
+        self, t_ns: int, kind: str, payload: dict[str, Any], source: str = ""
+    ) -> StreamRecord:
+        self._seq += 1
+        record = StreamRecord(
+            seq=self._seq, t_ns=int(t_ns), kind=kind, payload=payload, source=source
+        )
+        self.published += 1
+        for subscriber in self.subscribers.values():
+            subscriber._offer(record)
+        return record
+
+    def publish_record(self, record: StreamRecord) -> StreamRecord:
+        """Re-publish an existing record (fleet merge), keeping its stamp
+        but assigning a fresh bus sequence."""
+        self._seq += 1
+        stamped = StreamRecord(
+            seq=self._seq,
+            t_ns=record.t_ns,
+            kind=record.kind,
+            payload=record.payload,
+            source=record.source,
+        )
+        self.published += 1
+        for subscriber in self.subscribers.values():
+            subscriber._offer(stamped)
+        return stamped
+
+    def flush(self) -> None:
+        """Flush every push subscriber's buffered remainder."""
+        for subscriber in self.subscribers.values():
+            subscriber.flush()
+
+    def stats(self) -> dict[str, Any]:
+        """Bus health: published count plus per-subscriber accounting."""
+        return {
+            "published": self.published,
+            "subscribers": {
+                name: {
+                    "delivered": s.delivered,
+                    "dropped": s.dropped,
+                    "queued": len(s),
+                    "backpressure_flushes": s.backpressure_flushes,
+                }
+                for name, s in sorted(self.subscribers.items())
+            },
+        }
+
+    # ------------------------------------------------------------------- taps
+    def attach(
+        self, telemetry: "Telemetry", source: str = "", replay: bool = True
+    ) -> "_Tap":
+        """Tail ``telemetry`` onto this bus.
+
+        With ``replay=True`` the history already recorded (events and
+        finished spans) is published first, in virtual-clock order, so a
+        late subscriber still receives the complete stream; the tap then
+        follows the live trace.  The telemetry object learns about the
+        bus (``telemetry.bus``) so run-scope closes publish their metric
+        deltas too.
+        """
+        tap = _Tap(self, telemetry, source)
+        if replay:
+            tap.replay()
+        tap.follow()
+        self._taps.append(tap)
+        return tap
+
+    def finalize(self) -> None:
+        """Publish still-open spans (as unfinished records) and flush.
+
+        Called at end of stream so the captured record set is complete
+        even when a crash stranded open spans — mirroring how the
+        snapshot exporter renders unfinished spans as instants.
+        """
+        for tap in self._taps:
+            tap.publish_open_spans()
+        self.flush()
+
+
+class _Tap:
+    """The trace observer that feeds one Telemetry into a bus."""
+
+    def __init__(self, bus: TelemetryBus, telemetry: "Telemetry", source: str) -> None:
+        self.bus = bus
+        self.telemetry = telemetry
+        self.source = source
+        self._published_spans: set[int] = set()
+        self._span_index: dict[int, Any] = {}
+        self._span_scan = 0
+        self._following = False
+
+    # ---------------------------------------------------------------- helpers
+    def _span_by_id(self, span_id: int):
+        spans = self.telemetry.tracer.spans
+        if self._span_scan > len(spans):  # tracer.clear() shrank the list
+            self._span_index.clear()
+            self._span_scan = 0
+        while self._span_scan < len(spans):
+            span = spans[self._span_scan]
+            self._span_index[span.span_id] = span
+            self._span_scan += 1
+        return self._span_index.get(span_id)
+
+    @staticmethod
+    def span_payload(span) -> dict[str, Any]:
+        return {
+            "span_id": span.span_id,
+            "name": span.name,
+            "party": span.party,
+            "track": span.track,
+            "start_ns": span.start_ns,
+            "end_ns": span.end_ns,
+            "parent_id": span.parent_id,
+            "status": span.status,
+            "attrs": dict(span.attrs),
+        }
+
+    @staticmethod
+    def event_payload(event) -> dict[str, Any]:
+        return {
+            "t_ns": event.t_ns,
+            "category": event.category,
+            "name": event.name,
+            "payload": dict(event.payload),
+        }
+
+    # ----------------------------------------------------------------- intake
+    def _on_event(self, event) -> None:
+        self.bus.publish(
+            event.t_ns, KIND_EVENT, self.event_payload(event), source=self.source
+        )
+        if event.category == "span" and event.name == "end":
+            span = self._span_by_id(event.payload.get("span"))
+            if span is not None and span.span_id not in self._published_spans:
+                self._published_spans.add(span.span_id)
+                self.bus.publish(
+                    event.t_ns, KIND_SPAN, self.span_payload(span), source=self.source
+                )
+
+    def replay(self) -> None:
+        for event in self.telemetry.trace.events:
+            self.bus.publish(
+                event.t_ns, KIND_EVENT, self.event_payload(event), source=self.source
+            )
+        for span in self.telemetry.tracer.spans:
+            if span.finished and span.span_id not in self._published_spans:
+                self._published_spans.add(span.span_id)
+                self.bus.publish(
+                    span.end_ns, KIND_SPAN, self.span_payload(span), source=self.source
+                )
+
+    def follow(self) -> None:
+        if not self._following:
+            self.telemetry.trace.add_observer(self._on_event)
+            self.telemetry.bus = self.bus
+            self._following = True
+
+    def publish_open_spans(self) -> None:
+        for span in self.telemetry.tracer.spans:
+            if not span.finished and span.span_id not in self._published_spans:
+                self._published_spans.add(span.span_id)
+                self.bus.publish(
+                    self.telemetry.clock.now_ns,
+                    KIND_SPAN,
+                    self.span_payload(span),
+                    source=self.source,
+                )
+
+
+# ---------------------------------------------------------------------- merge
+
+def merge_records(
+    streams: Iterable[Iterable[StreamRecord]],
+    offsets_ns: Iterable[int] | None = None,
+) -> Iterator[StreamRecord]:
+    """Heap-merge several per-migration record streams into fleet order.
+
+    ``offsets_ns`` shifts each stream onto the fleet clock (the fleet
+    runner passes each migration's admission time, so records keep their
+    within-migration order while interleaving correctly across
+    migrations).  Ties are broken by source then per-stream sequence, so
+    the merge is a deterministic total order.
+    """
+    streams = list(streams)
+    offsets = list(offsets_ns) if offsets_ns is not None else [0] * len(streams)
+    if len(offsets) != len(streams):
+        raise ValueError("need exactly one offset per stream")
+
+    def shifted(stream: Iterable[StreamRecord], offset: int) -> Iterator[StreamRecord]:
+        for record in stream:
+            yield StreamRecord(
+                seq=record.seq,
+                t_ns=record.t_ns + offset,
+                kind=record.kind,
+                payload=record.payload,
+                source=record.source,
+            )
+
+    merged = heapq.merge(
+        *(shifted(s, o) for s, o in zip(streams, offsets)),
+        key=StreamRecord.sort_key,
+    )
+    return merged
+
+
+# ----------------------------------------------------------------- rendering
+
+def jsonl_from_records(records: Iterable[StreamRecord]) -> str:
+    """Render a captured stream exactly like the snapshot JSONL exporter.
+
+    Events render in stream order; spans render once each, in span-id
+    (start) order — the same layout :func:`~repro.telemetry.exporters.to_jsonl`
+    produces from the finished trace, which is what the parity test
+    compares byte-for-byte.
+    """
+    from repro.telemetry.exporters import json_safe
+
+    event_lines: list[str] = []
+    span_payloads: dict[int, dict[str, Any]] = {}
+    for record in records:
+        if record.kind == KIND_EVENT:
+            event_lines.append(
+                json.dumps(
+                    {
+                        "type": "event",
+                        "t_ns": record.payload["t_ns"],
+                        "category": record.payload["category"],
+                        "name": record.payload["name"],
+                        "payload": json_safe(record.payload["payload"]),
+                    },
+                    sort_keys=True,
+                )
+            )
+        elif record.kind == KIND_SPAN:
+            # Last write wins: a finalize() re-publish of a span that
+            # ended after replay carries the completed state.
+            span_payloads[record.payload["span_id"]] = record.payload
+    span_lines = [
+        json.dumps(
+            {
+                "type": "span",
+                "span_id": payload["span_id"],
+                "name": payload["name"],
+                "party": payload["party"],
+                "track": payload["track"],
+                "start_ns": payload["start_ns"],
+                "end_ns": payload["end_ns"],
+                "parent_id": payload["parent_id"],
+                "status": payload["status"],
+                "attrs": json_safe(payload["attrs"]),
+            },
+            sort_keys=True,
+        )
+        for _span_id, payload in sorted(span_payloads.items())
+    ]
+    lines = event_lines + span_lines
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,156 @@
+"""Fleet runner: determinism, admission model, SLO wiring, ratchet file."""
+
+import json
+
+import pytest
+
+from repro.fleet import FleetConfig, FleetRunner, write_fleet_bench
+
+MS = 1_000_000
+
+
+def _report(**overrides):
+    config = dict(n=4, seeds=(1, 2), max_inflight=2)
+    config.update(overrides)
+    return FleetRunner(FleetConfig(**config)).run()
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FleetConfig(n=0)
+        with pytest.raises(ValueError):
+            FleetConfig(seeds=())
+        with pytest.raises(ValueError):
+            FleetConfig(max_inflight=0)
+        with pytest.raises(ValueError):
+            FleetConfig(hops=0)
+
+    def test_seeds_cycle_and_derive_per_migration(self):
+        config = FleetConfig(n=4, seeds=(1, 2))
+        assert config.seed_for(0) == "1/mig0000"
+        assert config.seed_for(1) == "2/mig0001"
+        assert config.seed_for(2) == "1/mig0002"
+        assert config.mig_id(3) == "mig0003-s2"
+
+    def test_fault_cadence(self):
+        config = FleetConfig(n=6, fault_every=3)
+        assert [config.faulted(i) for i in range(6)] == [
+            True, False, False, True, False, False,
+        ]
+
+    def test_series_key_encodes_the_configuration(self):
+        assert FleetConfig(n=64, seeds=(1, 2)).series_key() == "n64_seeds1-2_inflight8"
+        assert "fault4" in FleetConfig(n=8, fault_every=4).series_key()
+        assert "hops3" in FleetConfig(n=8, hops=3).series_key()
+
+
+class TestAdmission:
+    def test_slots_bound_concurrency_on_the_fleet_timeline(self):
+        report = _report(n=4, max_inflight=2)
+        starts = [r.start_ns for r in report.records]
+        # First two migrations admitted immediately; the rest wait for a slot.
+        assert starts[0] == 0 and starts[1] == 0
+        assert starts[2] == min(report.records[0].end_ns, report.records[1].end_ns)
+        # At no instant do more than two intervals overlap.
+        for t in sorted({r.start_ns for r in report.records}):
+            inflight = sum(
+                1 for r in report.records if r.start_ns <= t < r.end_ns
+            )
+            assert inflight <= 2
+        assert report.makespan_ns == max(r.end_ns for r in report.records)
+        assert report.migrations_per_sec > 0
+
+    def test_every_migration_carries_its_own_virtual_duration(self):
+        report = _report(n=2, max_inflight=1)
+        for record in report.records:
+            assert record.end_ns - record.start_ns == record.duration_ns
+            assert record.duration_ns > 50 * MS
+
+
+class TestDeterminism:
+    def test_same_config_gives_byte_identical_reports(self):
+        a = _report(n=3, fault_every=3)
+        b = _report(n=3, fault_every=3)
+        assert json.dumps(a.as_dict(), sort_keys=True) == json.dumps(
+            b.as_dict(), sort_keys=True
+        )
+
+    def test_same_config_gives_byte_identical_bench_files(self, tmp_path):
+        dir_a, dir_b = tmp_path / "a", tmp_path / "b"
+        path_a = write_fleet_bench(_report(n=3), bench_dir=str(dir_a))
+        path_b = write_fleet_bench(_report(n=3), bench_dir=str(dir_b))
+        assert path_a and path_b
+        assert open(path_a, "rb").read() == open(path_b, "rb").read()
+
+    def test_bench_write_merges_series(self, tmp_path):
+        write_fleet_bench(_report(n=2), bench_dir=str(tmp_path))
+        write_fleet_bench(_report(n=3, seeds=(5,)), bench_dir=str(tmp_path))
+        with open(tmp_path / "BENCH_fleet.json", "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        assert set(payload) == {"n2_seeds1-2_inflight2", "n3_seeds5_inflight2"}
+        for series in payload.values():
+            assert set(series) == {
+                "makespan_ns",
+                "ns_per_migration",
+                "downtime_p50_ns",
+                "downtime_p99_ns",
+            }
+
+    def test_bench_write_without_a_directory_is_a_no_op(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_DIR", raising=False)
+        assert write_fleet_bench(_report(n=2)) is None
+
+
+class TestSloPlane:
+    def test_clean_fleet_stays_green(self):
+        report = _report(n=3, fault_every=0)
+        assert report.slo.active_alerts() == []
+        assert report.failed == 0
+        assert all(r.downtime_ns is not None and r.downtime_ns < 30 * MS
+                   for r in report.records)
+
+    def test_faulted_fleet_fires_downtime_burn_alert(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FLIGHT_DIR", str(tmp_path))
+        report = _report(n=3, fault_every=3)
+        fired = [v for v in report.slo.fired() if v.objective == "downtime-budget"]
+        assert fired, "the delayed checkpoint must burn the downtime budget"
+        assert fired[0].source == "mig0000-s1"
+        # The faulted migration's record carries the alert transition...
+        assert any(
+            a.startswith("downtime-budget/") for a in report.records[0].alerts
+        )
+        # ...and its flight recorder dumped it under the mig-id namespace.
+        assert sorted(tmp_path.glob("flight-mig0000-s1-*-slo-violation.json"))
+
+    def test_downtime_sketch_covers_every_migration(self):
+        report = _report(n=4)
+        assert report.downtime_sketch.count == 4
+        assert 25 * MS < report.downtime_sketch.p50 < 32 * MS
+
+    def test_failed_migrations_feed_the_refusal_objective(self):
+        report = _report(n=2, seeds=(9,), fault_every=1,
+                         fault_spec="drop:checkpoint:1")
+        assert report.failed == 2
+        assert all(r.status == "failed" for r in report.records)
+        fired = [v for v in report.slo.fired() if v.objective == "refusal-rate"]
+        assert fired
+
+    def test_otlp_artifacts_are_present(self):
+        report = _report(n=2)
+        assert report.otlp_traces_sample is not None
+        assert report.otlp_traces_sample["resourceSpans"]
+        metrics_doc = report.otlp_metrics()
+        point = metrics_doc["resourceMetrics"][0]["scopeMetrics"][0]["metrics"][0]
+        assert point["name"] == "fleet.downtime_ns"
+        assert int(point["histogram"]["dataPoints"][0]["count"]) == 2
+
+
+class TestChainIntegration:
+    def test_hops_drive_a_chain_per_migration(self):
+        report = _report(n=2, max_inflight=1, hops=3)
+        assert report.failed == 0
+        # Every hop contributes one downtime sample to the fleet sketch.
+        assert report.downtime_sketch.count == 6
+        for record in report.records:
+            assert record.outcome == "migrated"

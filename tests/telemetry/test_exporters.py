@@ -80,6 +80,29 @@ class TestPrometheus:
         text = to_prometheus(reg)
         assert text.count("# TYPE wire_bytes counter") == 1
 
+    def test_exposition_order_is_deterministic_and_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("z.last").inc()
+        reg.counter("a.first", shard="b").inc()
+        reg.counter("a.first", shard="a").inc()
+        reg.gauge("m.middle").set(7)
+        sample_lines = [
+            line for line in to_prometheus(reg).splitlines()
+            if line and not line.startswith("#")
+        ]
+        assert sample_lines == sorted(sample_lines)
+
+    def test_mixed_type_label_values_sort_without_error(self):
+        # Labels mixing int and str values used to TypeError under the
+        # old tuple sort; the metric_key sort is type-agnostic.
+        reg = MetricsRegistry()
+        reg.counter("x.total", shard=1).inc()
+        reg.counter("x.total", shard="a").inc(2)
+        text = to_prometheus(reg)
+        assert 'x_total{shard="1"} 1' in text
+        assert 'x_total{shard="a"} 2' in text
+        assert text.index('shard="1"') < text.index('shard="a"')
+
 
 class TestDeterminism:
     @staticmethod

@@ -110,3 +110,54 @@ class TestRedaction:
         assert payload["trigger"] == "fault.crash"
         recorder = tb.telemetry.flightrecorder
         assert recorder.dump_dir == str(tmp_path)
+
+
+class TestNamespacing:
+    def test_simultaneous_violations_dump_to_distinct_namespaces(
+        self, tmp_path, monkeypatch
+    ):
+        """Two migrations breach an SLO at the same instant: each flight
+        recorder writes its own ``flight-<mig-id>-*`` file, so a fleet
+        run never interleaves dumps from different migrations."""
+        monkeypatch.setenv("REPRO_FLIGHT_DIR", str(tmp_path))
+        testbeds = {}
+        for mig_id, seed in (("migA", 21), ("migB", 22)):
+            tb = build_testbed(seed=seed)
+            tb.telemetry.flightrecorder.namespace = mig_id
+            tb.telemetry.flightrecorder.dump_dir = str(tmp_path)
+            testbeds[mig_id] = tb
+        # Both violations land at the same (virtual) moment.
+        for mig_id, tb in testbeds.items():
+            tb.trace.emit(
+                "slo", "violation", party="source",
+                message=f"{mig_id}: downtime budget burned",
+            )
+        for prefix in ("flight-migA-", "flight-migB-"):
+            files = sorted(tmp_path.glob(prefix + "*-slo-violation.json"))
+            assert files, f"expected a namespaced dump {prefix}*"
+        a = sorted(tmp_path.glob("flight-migA-*.json"))
+        b = sorted(tmp_path.glob("flight-migB-*.json"))
+        assert not set(a) & set(b)
+        with open(a[0], "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        assert payload["event"]["payload"]["message"].startswith("migA")
+
+    def test_namespace_defaults_to_trace_id(self, tmp_path):
+        tb = run_seeded_migration(seed=23)
+        recorder = tb.telemetry.flightrecorder
+        recorder.dump_dir = str(tmp_path)
+        recorder.dump(trigger="manual")
+        trace_id = tb.telemetry.tracer.trace_id
+        assert trace_id
+        assert sorted(tmp_path.glob(f"flight-{trace_id}-*-manual.json"))
+
+    def test_namespace_is_slugified(self, tmp_path):
+        tb = build_testbed(seed=24)
+        recorder = tb.telemetry.flightrecorder
+        recorder.namespace = "mig 00/one:two"
+        recorder.dump_dir = str(tmp_path)
+        recorder.dump(trigger="manual")
+        files = sorted(p.name for p in tmp_path.glob("flight-*.json"))
+        assert files
+        assert all("/" not in name[len("flight-"):] for name in files)
+        assert files[0].startswith("flight-mig-00-one-two-")

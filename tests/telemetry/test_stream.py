@@ -1,0 +1,179 @@
+"""Streaming bus: bounded subscribers, replay, merge, snapshot parity."""
+
+import pytest
+
+from repro.migration.orchestrator import MigrationOrchestrator
+from repro.migration.testbed import build_testbed
+from repro.telemetry.exporters import to_jsonl
+from repro.telemetry.stream import (
+    POLICY_DROP_NEWEST,
+    StreamRecord,
+    TelemetryBus,
+    jsonl_from_records,
+    merge_records,
+)
+
+from tests.conftest import build_counter_app
+
+
+def _migrate(seed, tag):
+    tb = build_testbed(seed=seed)
+    app = build_counter_app(tb, tag=tag)
+    app.ecall_once(0, "incr", 3)
+    MigrationOrchestrator(tb).migrate_enclave(app)
+    return tb
+
+
+class TestSubscribers:
+    def test_capacity_must_be_positive(self):
+        bus = TelemetryBus()
+        with pytest.raises(ValueError):
+            bus.subscribe("bad", capacity=0)
+
+    def test_unknown_policy_rejected(self):
+        bus = TelemetryBus()
+        with pytest.raises(ValueError):
+            bus.subscribe("bad", policy="drop_everything")
+
+    def test_duplicate_names_rejected(self):
+        bus = TelemetryBus()
+        bus.subscribe("one")
+        with pytest.raises(ValueError):
+            bus.subscribe("one")
+
+    def test_push_subscriber_batches_until_capacity(self):
+        bus = TelemetryBus()
+        batches = []
+        sub = bus.subscribe("push", capacity=3, callback=batches.append)
+        for i in range(7):
+            bus.publish(i, "event", {"i": i})
+        # Two full batches delivered synchronously; one record buffered.
+        assert [len(b) for b in batches] == [3, 3]
+        assert sub.backpressure_flushes == 2
+        assert len(sub) == 1
+        bus.flush()
+        assert [len(b) for b in batches] == [3, 3, 1]
+        assert sub.delivered == 7
+
+    def test_poll_subscriber_drop_oldest(self):
+        bus = TelemetryBus()
+        sub = bus.subscribe("poll", capacity=3)
+        for i in range(5):
+            bus.publish(i, "event", {"i": i})
+        assert sub.dropped == 2
+        kept = [r.payload["i"] for r in sub.poll()]
+        assert kept == [2, 3, 4]  # newest survive
+
+    def test_poll_subscriber_drop_newest(self):
+        bus = TelemetryBus()
+        sub = bus.subscribe("poll", capacity=3, policy=POLICY_DROP_NEWEST)
+        for i in range(5):
+            bus.publish(i, "event", {"i": i})
+        assert sub.dropped == 2
+        kept = [r.payload["i"] for r in sub.poll()]
+        assert kept == [0, 1, 2]  # oldest survive
+
+    def test_drops_are_accounted_in_stats(self):
+        bus = TelemetryBus()
+        bus.subscribe("poll", capacity=1)
+        for i in range(4):
+            bus.publish(i, "event", {"i": i})
+        stats = bus.stats()
+        assert stats["published"] == 4
+        assert stats["subscribers"]["poll"]["dropped"] == 3
+        assert stats["subscribers"]["poll"]["queued"] == 1
+
+
+class TestLiveTail:
+    def test_live_records_arrive_in_virtual_clock_order(self):
+        tb = _migrate(31, "stream-order")
+        records = []
+        bus = TelemetryBus()
+        bus.subscribe("cap", capacity=1 << 16, callback=records.extend)
+        bus.attach(tb.telemetry, replay=True)
+        bus.finalize()
+        times = [r.t_ns for r in records if r.kind == "event"]
+        assert times == sorted(times)
+
+    def test_run_scope_close_publishes_metric_record(self):
+        tb = build_testbed(seed=32)
+        bus = tb.telemetry.ensure_bus()
+        metric_records = []
+        bus.subscribe(
+            "metrics",
+            capacity=4,
+            callback=lambda batch: metric_records.extend(
+                r for r in batch if r.kind == "metric"
+            ),
+        )
+        app = build_counter_app(tb, tag="stream-metric")
+        MigrationOrchestrator(tb).migrate_enclave(app)
+        bus.finalize()
+        assert len(metric_records) == 1
+        delta = metric_records[0].payload["delta"]
+        assert "migration.downtime_ns" in delta
+        assert metric_records[0].payload["run_id"].startswith("mig-")
+
+    def test_ensure_bus_is_idempotent(self):
+        tb = build_testbed(seed=33)
+        assert tb.telemetry.ensure_bus() is tb.telemetry.ensure_bus()
+
+
+class TestSnapshotParity:
+    """Acceptance: the live stream loses nothing vs the snapshot export."""
+
+    def test_live_stream_matches_end_of_run_jsonl(self):
+        tb = build_testbed(seed=34)
+        records = []
+        # Subscribe before attaching: replay-on-attach then delivers the
+        # pre-attach history (testbed construction events) too.
+        bus = TelemetryBus()
+        bus.subscribe("cap", capacity=1 << 16, callback=records.extend)
+        bus.attach(tb.telemetry, replay=True)
+        app = build_counter_app(tb, tag="stream-parity")
+        app.ecall_once(0, "incr", 3)
+        MigrationOrchestrator(tb).migrate_enclave(app)
+        tb.trace.emit("test", "tail-marker", party="source")
+        bus.finalize()
+        assert jsonl_from_records(records) == to_jsonl(tb.telemetry)
+
+    def test_replay_attach_matches_live_attach(self):
+        # A bus attached *after* the run replays history into the same
+        # stream a from-the-start tail would have produced.
+        tb = _migrate(35, "stream-replay")
+        late_records = []
+        late_bus = TelemetryBus()
+        late_bus.subscribe("cap", capacity=1 << 16, callback=late_records.extend)
+        late_bus.attach(tb.telemetry, replay=True)
+        late_bus.finalize()
+        assert jsonl_from_records(late_records) == to_jsonl(tb.telemetry)
+
+
+class TestMerge:
+    def test_merge_orders_across_streams_with_offsets(self):
+        a = [
+            StreamRecord(seq=1, t_ns=10, kind="event", payload={}, source="migA"),
+            StreamRecord(seq=2, t_ns=50, kind="event", payload={}, source="migA"),
+        ]
+        b = [
+            StreamRecord(seq=1, t_ns=5, kind="event", payload={}, source="migB"),
+            StreamRecord(seq=2, t_ns=45, kind="event", payload={}, source="migB"),
+        ]
+        # migB admitted 20ns into the fleet: its records shift by +20.
+        merged = list(merge_records([a, b], offsets_ns=[0, 20]))
+        assert [(r.source, r.t_ns) for r in merged] == [
+            ("migA", 10),
+            ("migB", 25),
+            ("migA", 50),
+            ("migB", 65),
+        ]
+
+    def test_merge_requires_one_offset_per_stream(self):
+        with pytest.raises(ValueError):
+            list(merge_records([[], []], offsets_ns=[0]))
+
+    def test_merge_tie_break_is_deterministic(self):
+        a = [StreamRecord(seq=1, t_ns=10, kind="event", payload={}, source="migB")]
+        b = [StreamRecord(seq=1, t_ns=10, kind="event", payload={}, source="migA")]
+        merged = list(merge_records([a, b]))
+        assert [r.source for r in merged] == ["migA", "migB"]

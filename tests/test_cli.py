@@ -306,3 +306,84 @@ class TestObservabilityCli:
         assert payload["interval_ns"] == 50000
         assert payload["sample_count"] > 0
         assert payload["total_weight_ns"] > 0
+
+
+class TestFleetCli:
+    def test_fleet_runs_and_prints_snapshot(self, capsys):
+        assert main(["fleet", "--n", "2", "--seeds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet: 2/2 done (0 failed, 0 faulted)" in out
+        assert "downtime: p50 " in out
+        assert "throughput: " in out
+
+    def test_fleet_json_report_is_deterministic(self, capsys):
+        argv = ["fleet", "--n", "3", "--seeds", "1,2", "--fault-every", "3", "--json"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+        payload = json.loads(first)
+        assert payload["n"] == 3
+        assert len(payload["records"]) == 3
+        assert payload["records"][0]["faulted"] is True
+        fired = payload["slo"]["violations"]
+        assert any(v["objective"] == "downtime-budget" for v in fired)
+
+    def test_fleet_watch_emits_frames(self, capsys):
+        assert main(
+            ["fleet", "--n", "4", "--seeds", "1", "--watch", "--frame-every", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "--- frame 1 ---" in out
+        assert "--- frame 2 ---" in out
+
+    def test_fleet_writes_artifacts(self, capsys, tmp_path):
+        console_path = tmp_path / "console.txt"
+        otlp_dir = tmp_path / "otlp"
+        bench_dir = tmp_path / "bench"
+        assert main(
+            [
+                "fleet", "--n", "2", "--seeds", "1",
+                "--console-out", str(console_path),
+                "--otlp-out", str(otlp_dir),
+                "--bench-dir", str(bench_dir),
+            ]
+        ) == 0
+        assert console_path.read_text().startswith("fleet: 2/2 done")
+        with open(otlp_dir / "fleet-metrics.otlp.json", encoding="utf-8") as fh:
+            metrics_doc = json.load(fh)
+        assert metrics_doc["resourceMetrics"]
+        with open(otlp_dir / "sample-trace.otlp.json", encoding="utf-8") as fh:
+            trace_doc = json.load(fh)
+        assert trace_doc["resourceSpans"]
+        with open(bench_dir / "BENCH_fleet.json", encoding="utf-8") as fh:
+            bench = json.load(fh)
+        assert "n2_seeds1_inflight8" in bench
+
+    def test_fleet_failed_migrations_exit_nonzero(self, capsys):
+        assert main(
+            [
+                "fleet", "--n", "1", "--seeds", "9",
+                "--fault-every", "1", "--fault-plan", "drop:checkpoint:1",
+            ]
+        ) == 1
+        assert "(1 failed" in capsys.readouterr().out
+
+    def test_fleet_bad_config_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fleet", "--n", "0"])
+
+    def test_trace_otlp_format(self, capsys):
+        assert main(["trace", "--format", "otlp", "--seed", "7"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        spans = doc["resourceSpans"][0]["scopeSpans"][0]["spans"]
+        assert any(s["name"] == "migration.run" for s in spans)
+        resource = doc["resourceSpans"][0]["resource"]["attributes"]
+        keys = {kv["key"] for kv in resource}
+        assert {"service.name", "migration.id", "seed"} <= keys
+
+    def test_metrics_otlp_format(self, capsys):
+        assert main(["metrics", "--format", "otlp", "--seed", "7"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        metrics = doc["resourceMetrics"][0]["scopeMetrics"][0]["metrics"]
+        assert any(m["name"] == "migration.downtime_ns" for m in metrics)
