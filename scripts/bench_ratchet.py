@@ -28,7 +28,7 @@ import os
 import sys
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-DEFAULT_FIGURES = ("fig9", "fig10", "fleet")
+DEFAULT_FIGURES = ("fig9", "fig10", "fleet", "fleet_contention")
 DEFAULT_MAX_REGRESSION = 0.15
 
 #: Leaf keys that are annotations, not measurements.

@@ -532,8 +532,19 @@ def _cmd_metrics(args) -> int:
 
 
 def _cmd_fleet(args) -> int:
-    from repro.fleet import FleetConfig, FleetConsole, FleetRunner, write_fleet_bench
+    from repro.fleet import (
+        FleetConfig,
+        FleetConsole,
+        FleetRunner,
+        blame_report,
+        write_contention_bench,
+        write_fleet_bench,
+    )
 
+    hosts = args.hosts
+    if args.action == "blame" and not hosts:
+        # Blame is about contention; default to an oversubscribed shape.
+        hosts = 4
     seeds = tuple(s.strip() for s in str(args.seeds).split(",") if s.strip())
     try:
         config = FleetConfig(
@@ -543,6 +554,9 @@ def _cmd_fleet(args) -> int:
             hops=args.hops,
             fault_every=args.fault_every,
             fault_spec=args.fault_plan,
+            hosts=hosts,
+            epc_per_host=args.epc_per_host,
+            bw_per_host=args.bw_per_host,
         )
     except ValueError as exc:
         raise SystemExit(f"repro fleet: {exc}")
@@ -569,9 +583,30 @@ def _cmd_fleet(args) -> int:
             with open(traces_path, "w", encoding="utf-8") as fh:
                 fh.write(_json_dumps(report.otlp_traces_sample) + "\n")
         print(f"wrote OTLP artifacts to {args.otlp_out}", file=sys.stderr)
+    if args.heatmap_out:
+        with open(args.heatmap_out, "w", encoding="utf-8") as fh:
+            fh.write(console.heatmap())
+        print(f"wrote host heatmap to {args.heatmap_out}", file=sys.stderr)
     bench_path = write_fleet_bench(report, bench_dir=args.bench_dir or None)
     if bench_path:
         print(f"wrote {report.config.series_key()} to {bench_path}", file=sys.stderr)
+    contention_path = write_contention_bench(report, bench_dir=args.bench_dir or None)
+    if contention_path:
+        print(
+            f"wrote contention series {report.config.series_key()} to"
+            f" {contention_path}",
+            file=sys.stderr,
+        )
+    if args.action == "blame":
+        blame = blame_report(report, factor=args.blame_factor)
+        text = _json_dumps(blame.as_dict()) + "\n" if args.json else blame.render_text()
+        if args.blame_out:
+            with open(args.blame_out, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            print(f"wrote blame report to {args.blame_out}", file=sys.stderr)
+        else:
+            print(text, end="")
+        return 1 if report.failed else 0
     if args.json:
         print(_json_dumps(report.as_dict()))
     else:
@@ -785,6 +820,12 @@ def main(argv: list[str] | None = None) -> int:
         "fleet",
         help="run N seeded migrations under the fleet SLO plane",
     )
+    fleet.add_argument(
+        "action", nargs="?", choices=("run", "blame"), default="run",
+        help="'run' prints the console snapshot; 'blame' runs the fleet "
+        "and prints the ranked straggler contention-blame report "
+        "(defaults --hosts to 4 when unset)",
+    )
     fleet.add_argument("--n", type=int, default=16, help="number of migrations")
     fleet.add_argument(
         "--seeds", default="1",
@@ -805,6 +846,32 @@ def main(argv: list[str] | None = None) -> int:
     fleet.add_argument(
         "--fault-plan", default="delay:checkpoint:1", dest="fault_plan",
         help="fault spec for the --fault-every cadence",
+    )
+    fleet.add_argument(
+        "--hosts", type=int, default=0,
+        help="per-host contention model: number of simulated hosts "
+        "(0 = plain slot timeline, no contention)",
+    )
+    fleet.add_argument(
+        "--epc-per-host", type=int, default=32, dest="epc_per_host",
+        metavar="PAGES", help="EPC capacity per host in 4 KiB pages",
+    )
+    fleet.add_argument(
+        "--bw-per-host", type=int, default=1024 * 1024, dest="bw_per_host",
+        metavar="BYTES_PER_SEC", help="NIC bandwidth share per host",
+    )
+    fleet.add_argument(
+        "--blame-factor", type=float, default=1.5, dest="blame_factor",
+        help="straggler threshold: wall time above this multiple of the "
+        "fleet median (blame action)",
+    )
+    fleet.add_argument(
+        "--blame-out", default="", dest="blame_out",
+        help="write the blame report to a file (blame action)",
+    )
+    fleet.add_argument(
+        "--heatmap-out", default="", dest="heatmap_out",
+        help="write the host-utilization heatmap to a file (needs --hosts)",
     )
     fleet.add_argument(
         "--watch", action="store_true",

@@ -9,20 +9,30 @@ live console (:class:`~repro.fleet.console.FleetConsole`) — surfaced as
 ``repro fleet``.
 """
 
+from repro.fleet.blame import StragglerReport, blame_report
 from repro.fleet.console import FleetConsole
+from repro.fleet.hosts import Admission, HostModel, HostSpec, HostUtilization
 from repro.fleet.runner import (
     FleetConfig,
     FleetReport,
     FleetRunner,
     MigrationRecord,
+    write_contention_bench,
     write_fleet_bench,
 )
 
 __all__ = [
+    "Admission",
     "FleetConfig",
     "FleetConsole",
     "FleetReport",
     "FleetRunner",
+    "HostModel",
+    "HostSpec",
+    "HostUtilization",
     "MigrationRecord",
+    "StragglerReport",
+    "blame_report",
+    "write_contention_bench",
     "write_fleet_bench",
 ]

@@ -1,0 +1,246 @@
+"""Straggler detection and ranked contention blame for fleet runs.
+
+A straggler is a migration whose *wall* time (arrival → completion on
+the fleet clock) is an outlier against the fleet.  For every straggler
+this module answers the operator's question — *why was this one slow?*
+— by decomposing its excess wall time into causes:
+
+* **typed waits**, measured exactly by the host model
+  (``queued:epc@host-03`` and friends), and
+* **self-slowdown**: running time above the fleet's median, blamed on
+  the migration's own critical-path contributors (the same ranked
+  table ``repro explain`` prints).
+
+The decomposition is exact by construction — ``excess = queued +
+(running − median running)`` — so attribution coverage is always 100%
+of the excess (capped when a migration queued long but ran *faster*
+than the median).  The report is a pure function of the fleet report:
+byte-identical across same-seed runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.telemetry.waitstate import WaitProfile, fleet_critical_path, wait_blame_name
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fleet.runner import FleetReport, MigrationRecord
+    from repro.telemetry.criticalpath import CriticalPathReport
+
+__all__ = ["BlameCause", "StragglerBlame", "StragglerReport", "blame_report"]
+
+#: A migration is a straggler when its wall time exceeds the fleet
+#: median by this factor (and by any positive excess at all).
+DEFAULT_STRAGGLER_FACTOR = 1.5
+
+
+def _median(values: list[int]) -> int:
+    if not values:
+        return 0
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) // 2
+
+
+@dataclass(frozen=True)
+class BlameCause:
+    """One ranked cause of a straggler's excess wall time."""
+
+    kind: str  # "wait" | "span"
+    name: str
+    duration_ns: int
+    share_pct: float  # share of the straggler's excess
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "duration_ns": self.duration_ns,
+            "share_pct": round(self.share_pct, 4),
+        }
+
+
+@dataclass
+class StragglerBlame:
+    """One straggler with its ranked, typed blame decomposition."""
+
+    mig_id: str
+    index: int
+    wall_ns: int
+    running_ns: int
+    queued_ns: int
+    excess_ns: int
+    causes: list[BlameCause] = field(default_factory=list)
+    attributed_pct: float = 0.0
+    #: The folded fleet critical path (waits + the migration's own
+    #: spans) — ``blames("wait/host-03/epc")`` works on it directly.
+    critical_path: "CriticalPathReport | None" = None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "mig_id": self.mig_id,
+            "index": self.index,
+            "wall_ns": self.wall_ns,
+            "running_ns": self.running_ns,
+            "queued_ns": self.queued_ns,
+            "excess_ns": self.excess_ns,
+            "attributed_pct": round(self.attributed_pct, 4),
+            "causes": [c.as_dict() for c in self.causes],
+        }
+
+
+@dataclass
+class StragglerReport:
+    """The fleet-wide contention blame report."""
+
+    median_wall_ns: int
+    median_running_ns: int
+    threshold_ns: int
+    factor: float
+    stragglers: list[StragglerBlame] = field(default_factory=list)
+    #: Fleet totals per typed wait blame name, busiest first.
+    queue_totals: list[tuple[str, int]] = field(default_factory=list)
+    hosts: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def min_attributed_pct(self) -> float:
+        return min((s.attributed_pct for s in self.stragglers), default=100.0)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "median_wall_ns": self.median_wall_ns,
+            "median_running_ns": self.median_running_ns,
+            "threshold_ns": self.threshold_ns,
+            "factor": self.factor,
+            "min_attributed_pct": round(self.min_attributed_pct, 4),
+            "stragglers": [s.as_dict() for s in self.stragglers],
+            "queue_totals": [
+                {"name": name, "duration_ns": ns} for name, ns in self.queue_totals
+            ],
+            "hosts": self.hosts,
+        }
+
+    def render_text(self, top: int = 5) -> str:
+        lines = [
+            f"fleet blame: {len(self.stragglers)} straggler(s) "
+            f"(wall > {self.factor:g}x median {self.median_wall_ns / 1e6:.1f}ms)"
+        ]
+        if self.queue_totals:
+            lines.append("queue totals:")
+            for name, ns in self.queue_totals:
+                lines.append(f"  {name:<28} {ns / 1e6:10.2f}ms")
+        for rank, s in enumerate(self.stragglers, 1):
+            lines.append(
+                f"#{rank} {s.mig_id}  wall {s.wall_ns / 1e6:.1f}ms "
+                f"(+{s.excess_ns / 1e6:.1f}ms vs median) "
+                f"queued {s.queued_ns / 1e6:.1f}ms"
+            )
+            for cause in s.causes[:top]:
+                lines.append(
+                    f"    {cause.kind:<5} {cause.name:<40} "
+                    f"{cause.duration_ns / 1e6:9.2f}ms {cause.share_pct:6.1f}%"
+                )
+            lines.append(f"    attributed: {s.attributed_pct:.1f}% of excess")
+        if not self.stragglers:
+            lines.append("no stragglers: the fleet is evenly paced")
+        return "\n".join(lines) + "\n"
+
+
+def _profile_of(record: "MigrationRecord") -> WaitProfile:
+    return WaitProfile(
+        mig_id=record.mig_id,
+        arrival_ns=record.arrival_ns,
+        start_ns=record.start_ns,
+        end_ns=record.end_ns,
+        waits=tuple(record.waits),
+        source_host=record.source_host,
+        target_host=record.target_host,
+    )
+
+
+def blame_report(
+    report: "FleetReport",
+    factor: float = DEFAULT_STRAGGLER_FACTOR,
+) -> StragglerReport:
+    """Rank stragglers and attribute their excess wall time."""
+    records = [r for r in report.records if r.status == "ok"]
+    walls = [r.end_ns - r.arrival_ns for r in records]
+    runnings = [r.duration_ns for r in records]
+    median_wall = _median(walls)
+    median_running = _median(runnings)
+    threshold = int(median_wall * factor)
+
+    queue_totals: dict[str, int] = {}
+    for record in report.records:
+        for kind, ns, host in record.waits:
+            if ns > 0:
+                name = wait_blame_name(kind, host)
+                queue_totals[name] = queue_totals.get(name, 0) + ns
+
+    out = StragglerReport(
+        median_wall_ns=median_wall,
+        median_running_ns=median_running,
+        threshold_ns=threshold,
+        factor=factor,
+        queue_totals=sorted(queue_totals.items(), key=lambda kv: (-kv[1], kv[0])),
+        hosts=[u.as_dict() for u in report.host_utilization],
+    )
+
+    for record in records:
+        wall = record.end_ns - record.arrival_ns
+        excess = wall - median_wall
+        if wall <= threshold or excess <= 0:
+            continue
+        profile = _profile_of(record)
+        self_slow = max(0, record.duration_ns - median_running)
+        # Shares are relative to the attribution total (all typed waits
+        # plus self-slowdown) so they sum to 100%; coverage of the
+        # *excess* is reported separately as attributed_pct.
+        attribution_total = profile.queued_ns + self_slow or 1
+        causes: list[BlameCause] = []
+        attributed = 0
+        for kind, ns, host in record.waits:
+            if ns > 0:
+                causes.append(
+                    BlameCause("wait", wait_blame_name(kind, host), ns,
+                               100.0 * ns / attribution_total)
+                )
+                attributed += ns
+        if self_slow > 0:
+            # Blame the migration's own excess on its critical-path
+            # contributors, proportionally to their measured share.
+            spans = record.top_spans or [
+                {"name": f"{record.mig_id}/migration.run", "duration_ns": 1}
+            ]
+            total = sum(s["duration_ns"] for s in spans) or 1
+            for span in spans:
+                ns = self_slow * span["duration_ns"] // total
+                if ns > 0:
+                    causes.append(
+                        BlameCause(
+                            "span", span["name"], ns, 100.0 * ns / attribution_total
+                        )
+                    )
+            attributed += self_slow
+        causes.sort(key=lambda c: (-c.duration_ns, c.name))
+        inner = report.inner_paths.get(record.mig_id)
+        out.stragglers.append(
+            StragglerBlame(
+                mig_id=record.mig_id,
+                index=record.index,
+                wall_ns=wall,
+                running_ns=record.duration_ns,
+                queued_ns=profile.queued_ns,
+                excess_ns=excess,
+                causes=causes,
+                attributed_pct=min(100.0, 100.0 * attributed / excess),
+                critical_path=fleet_critical_path(profile, inner),
+            )
+        )
+
+    out.stragglers.sort(key=lambda s: (-s.excess_ns, s.mig_id))
+    return out

@@ -120,11 +120,32 @@ class FleetConsole:
                     else ""
                 )
             )
+        if runner is not None and getattr(runner, "hosts", None) is not None:
+            queued = sum(r.queued_ns for r in records)
+            sketch = runner.queue_sketch
+            lines.append(
+                f"queued: total {queued / 1e6:.1f}ms"
+                + (
+                    f" | p50 {sketch.p50 / 1e6:.2f}ms p99 {sketch.p99 / 1e6:.2f}ms"
+                    if sketch.count
+                    else ""
+                )
+            )
+            if final and now_ns:
+                lines.append(self.heatmap().rstrip("\n"))
         if final and runner is not None and done:
             makespan = max((r.end_ns for r in records), default=0)
             rate = done / (makespan / 1e9) if makespan else 0.0
             lines.append(f"throughput: {rate:.1f} migrations/sec over {self.n} runs")
         return "\n".join(lines) + "\n"
+
+    def heatmap(self) -> str:
+        """The host-utilization heatmap (empty without a host model)."""
+        runner = self._runner
+        if runner is None or getattr(runner, "hosts", None) is None:
+            return ""
+        now_ns = max((r.end_ns for r in self._records), default=0)
+        return runner.hosts.heatmap(max(now_ns, 1))
 
     def emit_frame(self) -> None:
         if self.stream is None:

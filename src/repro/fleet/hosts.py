@@ -1,0 +1,367 @@
+"""Deterministic per-host resource model: EPC pages and NIC bandwidth.
+
+The fleet runner's slot timeline (PR 9) bounds *how many* migrations
+run at once; this module bounds *where* they run.  A
+:class:`HostModel` holds ``hosts`` simulated machines, each with a
+fixed EPC capacity (4 KiB pages) and a NIC bandwidth share
+(bytes/sec).  Migrations are placed round-robin — migration *i* drains
+host ``i % H`` onto host ``(i+1) % H`` — and must acquire, in order:
+
+1. an **admission slot** (the runner's global ``max_inflight`` bound);
+2. **EPC pages** on the target host: the restore path needs
+   ``ceil(transferred_bytes / page_size)`` free pages for the whole
+   migration;
+3. a **bandwidth grant** on both NICs: a rate reservation of
+   ``transferred_bytes / duration`` on the source *and* target host
+   for the whole migration.
+
+When a resource is oversubscribed the migration *waits*, and every
+nanosecond of waiting is typed (``queued:admission`` / ``queued:epc``
+/ ``queued:bandwidth``) so the wait-state attribution layer can fold
+it into the critical path.  The decomposition is constructed so that
+``start = arrival + Σ waits`` exactly — the conservation invariant is
+true by construction and checked anyway.
+
+Durations are never stretched: a bandwidth grant is a rate
+*reservation*, so a migration still occupies its interval for exactly
+the virtual duration its own testbed clock measured.  That keeps the
+whole fleet run a pure function of its configuration — same seeds and
+host shape → byte-identical reports, heatmaps, and bench files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import InvariantViolation
+from repro.telemetry.waitstate import (
+    WAIT_ADMISSION,
+    WAIT_BANDWIDTH,
+    WAIT_EPC,
+    WaitProfile,
+)
+
+__all__ = [
+    "Admission",
+    "HostModel",
+    "HostSpec",
+    "HostUtilization",
+]
+
+#: Defaults chosen against the measured counter-enclave migration
+#: (~80 KiB transferred over ~106 ms virtual → ~20 EPC pages and a
+#: ~770 KiB/s stream): 32 pages admit one restore but not two, and a
+#: 1 MiB/s NIC carries one stream but not two — so a 4-host fleet at
+#: n=64 queues on every typed resource, which is the point.
+DEFAULT_EPC_PAGES = 32
+DEFAULT_BW_BYTES_PER_SEC = 1 * 1024 * 1024
+PAGE_BYTES = 4096
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """The shape of every host in the (homogeneous) simulated fleet."""
+
+    hosts: int
+    epc_pages: int = DEFAULT_EPC_PAGES
+    bw_bytes_per_sec: int = DEFAULT_BW_BYTES_PER_SEC
+    page_bytes: int = PAGE_BYTES
+
+    def __post_init__(self) -> None:
+        if self.hosts < 1:
+            raise ValueError("host model needs at least one host")
+        if self.epc_pages < 1:
+            raise ValueError("hosts need at least one EPC page")
+        if self.bw_bytes_per_sec < 1:
+            raise ValueError("hosts need nonzero NIC bandwidth")
+        if self.page_bytes < 1:
+            raise ValueError("page_bytes must be positive")
+
+
+@dataclass(frozen=True)
+class Admission:
+    """One migration's grant: where it ran, when, and why it waited."""
+
+    index: int
+    source_host: int
+    target_host: int
+    start_ns: int
+    end_ns: int
+    epc_pages: int
+    bw_bytes_per_sec: int
+    #: Ordered ``(kind, duration_ns, host)`` waits (host None = fleet-wide).
+    waits: tuple[tuple[str, int, int | None], ...]
+
+    @property
+    def queued_ns(self) -> int:
+        return sum(ns for _, ns, _ in self.waits)
+
+
+@dataclass
+class HostUtilization:
+    """One host's usage timeline for one resource."""
+
+    host: int
+    resource: str  # "epc" | "bandwidth"
+    capacity: int
+    #: ``(t_ns, usage)`` steps; usage holds from each point to the next.
+    timeline: list[tuple[int, int]] = field(default_factory=list)
+    peak: int = 0
+    mean: float = 0.0
+
+    @property
+    def peak_pct(self) -> float:
+        return 100.0 * self.peak / self.capacity if self.capacity else 0.0
+
+    @property
+    def mean_pct(self) -> float:
+        return 100.0 * self.mean / self.capacity if self.capacity else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "host": self.host,
+            "resource": self.resource,
+            "capacity": self.capacity,
+            "peak": self.peak,
+            "peak_pct": round(self.peak_pct, 4),
+            "mean": round(self.mean, 4),
+            "mean_pct": round(self.mean_pct, 4),
+            "timeline": [[t, u] for t, u in self.timeline],
+        }
+
+
+class _Ledger:
+    """Interval reservations against one capacity (one host, one resource)."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.reservations: list[tuple[int, int, int]] = []  # (start, end, amount)
+
+    def usage_at(self, t_ns: int) -> int:
+        return sum(a for s, e, a in self.reservations if s <= t_ns < e)
+
+    def peak_over(self, start_ns: int, end_ns: int) -> int:
+        """Max concurrent usage over ``[start_ns, end_ns)``."""
+        points = {start_ns}
+        points.update(
+            s for s, e, _ in self.reservations if start_ns < s < end_ns
+        )
+        return max((self.usage_at(p) for p in points), default=0)
+
+    def fits(self, start_ns: int, duration_ns: int, amount: int) -> bool:
+        return self.peak_over(start_ns, start_ns + duration_ns) + amount <= self.capacity
+
+    def candidates(self, after_ns: int) -> list[int]:
+        """Times at which a blocked request could become feasible."""
+        return sorted(e for _, e, _ in self.reservations if e > after_ns)
+
+    def reserve(self, start_ns: int, end_ns: int, amount: int) -> None:
+        self.reservations.append((start_ns, end_ns, amount))
+
+
+def _earliest_fit(
+    ledgers: list[tuple["_Ledger", int]], t0: int, duration_ns: int
+) -> int:
+    """Earliest ``t >= t0`` at which every ledger admits its demand.
+
+    Candidate starts are ``t0`` and every reservation-end event after
+    it; because all reservations eventually end, the search always
+    terminates with a feasible time (demands are pre-clamped to
+    capacity).
+    """
+    candidates = {t0}
+    for ledger, _ in ledgers:
+        candidates.update(ledger.candidates(t0))
+    for t in sorted(candidates):
+        if all(ledger.fits(t, duration_ns, amount) for ledger, amount in ledgers):
+            return t
+    raise InvariantViolation(
+        "host model found no feasible start — a reservation never ends"
+    )
+
+
+class HostModel:
+    """Places migrations on hosts and accounts every wait, typed."""
+
+    def __init__(self, spec: HostSpec) -> None:
+        self.spec = spec
+        self._epc = [_Ledger(spec.epc_pages) for _ in range(spec.hosts)]
+        self._bw = [_Ledger(spec.bw_bytes_per_sec) for _ in range(spec.hosts)]
+        self.admissions: list[Admission] = []
+
+    # ------------------------------------------------------------- placement
+    def place(self, index: int) -> tuple[int, int]:
+        """Deterministic round-robin: drain host i%H onto host (i+1)%H."""
+        h = self.spec.hosts
+        return index % h, (index + 1) % h
+
+    # ------------------------------------------------------------- admission
+    def admit(
+        self,
+        index: int,
+        arrival_ns: int,
+        slot_free_ns: int,
+        duration_ns: int,
+        bytes_moved: int,
+    ) -> Admission:
+        """Grant the migration a start time, accounting every wait.
+
+        ``slot_free_ns`` is the runner's admission-slot constraint (the
+        earliest a ``max_inflight`` slot frees).  EPC demand derives
+        from the migration's own measured transfer volume; bandwidth
+        demand is the rate that volume implies over the measured
+        duration.  Demands above a host's capacity are clamped — a
+        single migration can always run somewhere, it just monopolises
+        the resource while it does.
+        """
+        spec = self.spec
+        source, target = self.place(index)
+        pages = max(1, -(-bytes_moved // spec.page_bytes))
+        pages = min(pages, spec.epc_pages)
+        if duration_ns > 0:
+            rate = max(1, -(-bytes_moved * 1_000_000_000 // duration_ns))
+        else:
+            rate = 1
+        rate = min(rate, spec.bw_bytes_per_sec)
+
+        t0 = max(arrival_ns, slot_free_ns)
+        wait_admission = t0 - arrival_ns
+        # EPC alone: how long the target host's pages gate us.
+        epc_ledgers = [(self._epc[target], pages)]
+        t_epc = _earliest_fit(epc_ledgers, t0, duration_ns)
+        wait_epc = t_epc - t0
+        # Joint fit: EPC must still hold at whatever later time the
+        # bandwidth grant lands, so the final search satisfies both; the
+        # *additional* delay past t_epc is the bandwidth queue.
+        bw_ledgers = epc_ledgers + [
+            (self._bw[source], rate),
+            (self._bw[target], rate),
+        ]
+        if source == target:
+            bw_ledgers = epc_ledgers + [(self._bw[source], rate)]
+        start = _earliest_fit(bw_ledgers, t_epc, duration_ns)
+        wait_bw = start - t_epc
+        end = start + duration_ns
+
+        self._epc[target].reserve(start, end, pages)
+        self._bw[source].reserve(start, end, rate)
+        if source != target:
+            self._bw[target].reserve(start, end, rate)
+
+        admission = Admission(
+            index=index,
+            source_host=source,
+            target_host=target,
+            start_ns=start,
+            end_ns=end,
+            epc_pages=pages,
+            bw_bytes_per_sec=rate,
+            waits=(
+                (WAIT_ADMISSION, wait_admission, None),
+                (WAIT_EPC, wait_epc, target),
+                (WAIT_BANDWIDTH, wait_bw, target),
+            ),
+        )
+        self.admissions.append(admission)
+        return admission
+
+    def profile(self, mig_id: str, admission: Admission, arrival_ns: int) -> WaitProfile:
+        return WaitProfile(
+            mig_id=mig_id,
+            arrival_ns=arrival_ns,
+            start_ns=admission.start_ns,
+            end_ns=admission.end_ns,
+            waits=admission.waits,
+            source_host=admission.source_host,
+            target_host=admission.target_host,
+        )
+
+    # ----------------------------------------------------------- utilization
+    def _ledger_utilization(
+        self, host: int, resource: str, ledger: _Ledger, end_ns: int
+    ) -> HostUtilization:
+        points = sorted({0, *(s for s, _, _ in ledger.reservations),
+                         *(e for _, e, _ in ledger.reservations)})
+        points = [p for p in points if p < end_ns] or [0]
+        timeline = [(p, ledger.usage_at(p)) for p in points]
+        # Collapse repeats so the timeline only records changes.
+        collapsed: list[tuple[int, int]] = []
+        for t, u in timeline:
+            if not collapsed or collapsed[-1][1] != u:
+                collapsed.append((t, u))
+        peak = max((u for _, u in collapsed), default=0)
+        weighted = 0
+        for (t, u), nxt in zip(collapsed, [*collapsed[1:], (end_ns, 0)]):
+            weighted += u * (max(nxt[0], t) - t)
+        mean = weighted / end_ns if end_ns > 0 else 0.0
+        return HostUtilization(
+            host=host,
+            resource=resource,
+            capacity=ledger.capacity,
+            timeline=collapsed,
+            peak=peak,
+            mean=mean,
+        )
+
+    def utilization(self, end_ns: int) -> list[HostUtilization]:
+        """Per-host, per-resource usage timelines over ``[0, end_ns)``."""
+        out: list[HostUtilization] = []
+        for host in range(self.spec.hosts):
+            out.append(self._ledger_utilization(host, "epc", self._epc[host], end_ns))
+            out.append(
+                self._ledger_utilization(host, "bandwidth", self._bw[host], end_ns)
+            )
+        return out
+
+    def check_capacity(self, end_ns: int) -> None:
+        """Hard invariant: no host ever exceeds a capacity.
+
+        Grants are only issued when they fit, so a breach means the
+        reservation bookkeeping and the admission search disagree.
+        """
+        for util in self.utilization(max(end_ns, 1)):
+            if util.peak > util.capacity:
+                raise InvariantViolation(
+                    f"host-{util.host:02d} {util.resource} peak {util.peak} "
+                    f"exceeds capacity {util.capacity}"
+                )
+
+    # --------------------------------------------------------------- heatmap
+    #: Utilization ramp, darkest-last; index = floor(util * len / 100).
+    HEAT_RAMP = " .:-=+*#%@"
+
+    def heatmap(self, end_ns: int, buckets: int = 64) -> str:
+        """Deterministic ASCII heatmap: one row per host per resource.
+
+        Each cell is the time-weighted mean utilization of one bucket
+        of ``[0, end_ns)``, mapped onto :data:`HEAT_RAMP`.
+        """
+        if end_ns <= 0:
+            end_ns = 1
+        lines = [
+            f"host utilization over {end_ns / 1e9:.3f}s "
+            f"({buckets} buckets, ramp '{self.HEAT_RAMP}')"
+        ]
+        for util in self.utilization(end_ns):
+            cells = []
+            for b in range(buckets):
+                lo = end_ns * b // buckets
+                hi = end_ns * (b + 1) // buckets
+                if hi <= lo:
+                    hi = lo + 1
+                weighted = 0
+                steps = util.timeline or [(0, 0)]
+                for (t, u), nxt in zip(steps, [*steps[1:], (end_ns, 0)]):
+                    s, e = max(t, lo), min(nxt[0], hi)
+                    if e > s:
+                        weighted += u * (e - s)
+                frac = weighted / ((hi - lo) * util.capacity) if util.capacity else 0.0
+                idx = min(int(frac * len(self.HEAT_RAMP)), len(self.HEAT_RAMP) - 1)
+                cells.append(self.HEAT_RAMP[idx])
+            label = f"{util.resource:<9}"
+            lines.append(
+                f"  host-{util.host:02d} {label} |{''.join(cells)}| "
+                f"peak {util.peak}/{util.capacity} mean {util.mean_pct:.1f}%"
+            )
+        return "\n".join(lines) + "\n"

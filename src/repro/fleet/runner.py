@@ -30,14 +30,28 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.fleet.hosts import (
+    DEFAULT_BW_BYTES_PER_SEC,
+    DEFAULT_EPC_PAGES,
+    HostModel,
+    HostSpec,
+    HostUtilization,
+)
 from repro.telemetry.sketch import QuantileSketch
 from repro.telemetry.slo import SloEngine, SloObjective, SloViolation, default_objectives
+from repro.telemetry.waitstate import (
+    WAIT_KINDS,
+    WaitProfile,
+    verify_conservation,
+    wait_blame_name,
+)
 
 __all__ = [
     "FleetConfig",
     "FleetReport",
     "FleetRunner",
     "MigrationRecord",
+    "write_contention_bench",
     "write_fleet_bench",
 ]
 
@@ -63,6 +77,12 @@ class FleetConfig:
     fault_every: int = 0
     fault_spec: str = DEFAULT_FAULT_SPEC
     objectives: tuple[SloObjective, ...] | None = None
+    #: Per-host contention model (0 = off: the plain slot timeline).
+    #: With ``hosts > 0`` every migration is placed source→target and
+    #: must acquire EPC pages and a bandwidth grant before starting.
+    hosts: int = 0
+    epc_per_host: int = DEFAULT_EPC_PAGES
+    bw_per_host: int = DEFAULT_BW_BYTES_PER_SEC
 
     def __post_init__(self) -> None:
         if self.n < 1:
@@ -75,6 +95,11 @@ class FleetConfig:
             raise ValueError("hops must be at least 1")
         if self.fault_every < 0:
             raise ValueError("fault_every cannot be negative")
+        if self.hosts < 0:
+            raise ValueError("hosts cannot be negative")
+        if self.hosts:
+            # HostSpec validates capacities; fail at config time.
+            HostSpec(self.hosts, self.epc_per_host, self.bw_per_host)
 
     def seed_for(self, index: int) -> str:
         base = self.seeds[index % len(self.seeds)]
@@ -95,7 +120,14 @@ class FleetConfig:
             key += f"_hops{self.hops}"
         if self.fault_every:
             key += f"_fault{self.fault_every}"
+        if self.hosts:
+            key += f"_hosts{self.hosts}_epc{self.epc_per_host}_bw{self.bw_per_host}"
         return key
+
+    def host_spec(self) -> HostSpec | None:
+        if not self.hosts:
+            return None
+        return HostSpec(self.hosts, self.epc_per_host, self.bw_per_host)
 
 
 @dataclass
@@ -116,9 +148,38 @@ class MigrationRecord:
     error: str | None = None
     #: Alerts that fired or cleared because of this migration's samples.
     alerts: list[str] = field(default_factory=list)
+    #: Contention-model fields (hosts > 0): when the migration was
+    #: submitted, where it was placed, and every typed wait it served.
+    arrival_ns: int = 0
+    source_host: int | None = None
+    target_host: int | None = None
+    #: Ordered ``(kind, duration_ns, host)`` waits (see waitstate).
+    waits: list[tuple[str, int, int | None]] = field(default_factory=list)
+    #: Top critical-path contributions of the migration's own run —
+    #: the blame targets for self-slowdown in the straggler report.
+    top_spans: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def wall_ns(self) -> int:
+        return self.end_ns - self.arrival_ns
+
+    @property
+    def queued_ns(self) -> int:
+        return sum(ns for _, ns, _ in self.waits)
+
+    def wait_profile(self) -> WaitProfile:
+        return WaitProfile(
+            mig_id=self.mig_id,
+            arrival_ns=self.arrival_ns,
+            start_ns=self.start_ns,
+            end_ns=self.end_ns,
+            waits=tuple(self.waits),
+            source_host=self.source_host,
+            target_host=self.target_host,
+        )
 
     def as_dict(self) -> dict[str, Any]:
-        return {
+        out = {
             "index": self.index,
             "mig_id": self.mig_id,
             "seed": self.seed,
@@ -133,6 +194,23 @@ class MigrationRecord:
             "error": self.error,
             "alerts": list(self.alerts),
         }
+        if self.waits or self.source_host is not None:
+            out.update(
+                {
+                    "arrival_ns": self.arrival_ns,
+                    "wall_ns": self.wall_ns,
+                    "queued_ns": self.queued_ns,
+                    "source_host": self.source_host,
+                    "target_host": self.target_host,
+                    "waits": {
+                        wait_blame_name(kind, host): ns
+                        for kind, ns, host in self.waits
+                        if ns > 0
+                    },
+                    "top_spans": list(self.top_spans),
+                }
+            )
+        return out
 
 
 @dataclass
@@ -146,10 +224,28 @@ class FleetReport:
     #: OTLP sample artifacts: the first migration's traces document and
     #: a fleet-level metrics document carrying the downtime sketch.
     otlp_traces_sample: dict[str, Any] | None = None
+    #: Contention plane (hosts > 0): the host model with its
+    #: reservations, per-wait-kind queueing sketches, the total-queued
+    #: sketch, and each migration's own critical-path report keyed by
+    #: mig_id (what the straggler report folds waits into).
+    host_model: HostModel | None = None
+    wait_sketches: dict[str, QuantileSketch] = field(default_factory=dict)
+    queue_sketch: QuantileSketch | None = None
+    inner_paths: dict[str, Any] = field(default_factory=dict)
 
     @property
     def makespan_ns(self) -> int:
         return max((r.end_ns for r in self.records), default=0)
+
+    @property
+    def host_utilization(self) -> list[HostUtilization]:
+        if self.host_model is None:
+            return []
+        return self.host_model.utilization(max(self.makespan_ns, 1))
+
+    @property
+    def total_queued_ns(self) -> int:
+        return sum(r.queued_ns for r in self.records)
 
     @property
     def completed(self) -> int:
@@ -178,6 +274,31 @@ class FleetReport:
             "downtime_p99_ns": sketch.p99,
         }
 
+    def contention_payload(self) -> dict[str, float]:
+        """The ``BENCH_fleet_contention.json`` leaves for this run.
+
+        Queueing delays are lower-is-better; the utilization leaves are
+        change-detectors — deterministic runs reproduce them exactly,
+        so any drift means the scheduler's behavior changed.
+        """
+        if self.host_model is None or self.queue_sketch is None:
+            return {}
+        utils = self.host_utilization
+        epc = [u.mean_pct for u in utils if u.resource == "epc"]
+        bw = [u.mean_pct for u in utils if u.resource == "bandwidth"]
+        payload = {
+            "makespan_ns": float(self.makespan_ns),
+            "queueing_p50_ns": self.queue_sketch.p50,
+            "queueing_p99_ns": self.queue_sketch.p99,
+            "epc_util_pct": round(sum(epc) / len(epc), 4) if epc else 0.0,
+            "bw_util_pct": round(sum(bw) / len(bw), 4) if bw else 0.0,
+        }
+        for kind in WAIT_KINDS:
+            sketch = self.wait_sketches.get(kind)
+            if sketch is not None:
+                payload[f"queued_{kind}_p99_ns"] = sketch.p99
+        return payload
+
     def otlp_metrics(self) -> dict[str, Any]:
         """Fleet-level OTLP metrics: the downtime sketch as a histogram."""
         from repro.telemetry.otlp import _attributes, SCOPE, sketch_to_otlp_histogram
@@ -193,6 +314,46 @@ class FleetReport:
                 "fleet.downtime_ns", self.downtime_sketch, t_ns=self.makespan_ns
             )
         ]
+        if self.host_model is not None:
+            if self.queue_sketch is not None and self.queue_sketch.count:
+                metrics.append(
+                    sketch_to_otlp_histogram(
+                        "fleet.queued_ns", self.queue_sketch, t_ns=self.makespan_ns
+                    )
+                )
+            for kind in WAIT_KINDS:
+                sketch = self.wait_sketches.get(kind)
+                if sketch is not None and sketch.count:
+                    metrics.append(
+                        sketch_to_otlp_histogram(
+                            f"fleet.queued.{kind}_ns",
+                            sketch,
+                            t_ns=self.makespan_ns,
+                        )
+                    )
+            for util in self.host_utilization:
+                # The utilization timeline as a gauge series: one data
+                # point per step change, on the fleet's virtual clock.
+                metrics.append(
+                    {
+                        "name": f"fleet.host.{util.resource}_used",
+                        "gauge": {
+                            "dataPoints": [
+                                {
+                                    "timeUnixNano": str(t),
+                                    "asDouble": float(u),
+                                    "attributes": _attributes(
+                                        {
+                                            "host": util.host,
+                                            "capacity": util.capacity,
+                                        }
+                                    ),
+                                }
+                                for t, u in util.timeline
+                            ]
+                        },
+                    }
+                )
         return {
             "resourceMetrics": [
                 {
@@ -203,7 +364,7 @@ class FleetReport:
         }
 
     def as_dict(self) -> dict[str, Any]:
-        return {
+        out: dict[str, Any] = {
             "n": self.config.n,
             "seeds": [str(s) for s in self.config.seeds],
             "max_inflight": self.config.max_inflight,
@@ -222,6 +383,20 @@ class FleetReport:
             "slo": self.slo.as_dict(),
             "records": [r.as_dict() for r in self.records],
         }
+        if self.host_model is not None:
+            spec = self.host_model.spec
+            out["hosts"] = {
+                "count": spec.hosts,
+                "epc_pages": spec.epc_pages,
+                "bw_bytes_per_sec": spec.bw_bytes_per_sec,
+                "total_queued_ns": self.total_queued_ns,
+                "queueing": {
+                    "p50_ns": self.queue_sketch.p50 if self.queue_sketch else 0.0,
+                    "p99_ns": self.queue_sketch.p99 if self.queue_sketch else 0.0,
+                },
+                "utilization": [u.as_dict() for u in self.host_utilization],
+            }
+        return out
 
 
 class FleetRunner:
@@ -243,6 +418,13 @@ class FleetRunner:
         self.downtime_sketch = QuantileSketch()
         self.slo = SloEngine(config.objectives or default_objectives())
         self._slots = [0] * config.max_inflight
+        spec = config.host_spec()
+        self.hosts: HostModel | None = HostModel(spec) if spec else None
+        self.wait_sketches: dict[str, QuantileSketch] = {
+            kind: QuantileSketch() for kind in WAIT_KINDS
+        }
+        self.queue_sketch = QuantileSketch()
+        self._inner_paths: dict[str, Any] = {}
 
     # ------------------------------------------------------------------- run
     def run(self) -> FleetReport:
@@ -254,12 +436,25 @@ class FleetRunner:
             self.records.append(record)
             if self.on_record is not None:
                 self.on_record(record, self)
+        if self.hosts is not None:
+            # Hard invariants of the contention plane: no host may ever
+            # exceed a capacity, and every record's wall time must be
+            # fully covered by running + typed waits (checked per-record
+            # at admission too; re-checked here over the final state).
+            makespan = max((r.end_ns for r in self.records), default=0)
+            self.hosts.check_capacity(max(makespan, 1))
+            for record in self.records:
+                verify_conservation(record.wait_profile())
         return FleetReport(
             config=self.config,
             records=self.records,
             downtime_sketch=self.downtime_sketch,
             slo=self.slo,
             otlp_traces_sample=otlp_sample,
+            host_model=self.hosts,
+            wait_sketches=self.wait_sketches,
+            queue_sketch=self.queue_sketch,
+            inner_paths=self._inner_paths,
         )
 
     @property
@@ -337,9 +532,68 @@ class FleetRunner:
         # ---------------------------------------------------- fleet timeline
         duration = tb.clock.now_ns
         slot = min(range(len(self._slots)), key=lambda i: self._slots[i])
-        start = self._slots[slot]
-        end = start + duration
+        slot_free = self._slots[slot]
+        arrival = 0
+        waits: list[tuple[str, int, int | None]] = []
+        source_host = target_host = None
+        if self.hosts is not None:
+            bytes_moved = int(
+                telemetry.metrics.value("migration.transferred_bytes", default=0)
+            ) or int(telemetry.metrics.value("checkpoint.bytes", default=0))
+            admission = self.hosts.admit(
+                index,
+                arrival_ns=arrival,
+                slot_free_ns=slot_free,
+                duration_ns=duration,
+                bytes_moved=bytes_moved,
+            )
+            start, end = admission.start_ns, admission.end_ns
+            waits = list(admission.waits)
+            source_host = admission.source_host
+            target_host = admission.target_host
+            queued = admission.queued_ns
+            self.queue_sketch.observe(queued)
+            for kind, wait_ns, host in waits:
+                self.wait_sketches[kind].observe(wait_ns)
+                telemetry.metrics.gauge(
+                    "fleet.queued_ns", kind=kind, host=-1 if host is None else host
+                ).set(wait_ns)
+        else:
+            start = slot_free
+            end = start + duration
         self._slots[slot] = end
+
+        # ---------------------------------------------- wait-state telemetry
+        top_spans: list[dict[str, Any]] = []
+        if self.hosts is not None:
+            # Surface the typed waits as run-scope metrics so SLO
+            # objectives (and `aggregate_run_metrics`) can target
+            # queueing the same way they target downtime.
+            by_kind = {kind: 0 for kind in WAIT_KINDS}
+            for kind, wait_ns, _ in waits:
+                by_kind[kind] += wait_ns
+            for run_id in sorted(telemetry.run_metrics)[:1]:
+                delta = telemetry.run_metrics[run_id]
+                delta["fleet.queued_ns"] = sum(by_kind.values())
+                for kind, wait_ns in by_kind.items():
+                    delta[f"fleet.queued.{kind}_ns"] = wait_ns
+            if status == "ok":
+                from repro.telemetry.criticalpath import ANCHOR_TOTAL, critical_path
+
+                try:
+                    inner = critical_path(telemetry, tb.network, ANCHOR_TOTAL)
+                except ValueError:
+                    inner = None
+                if inner is not None:
+                    self._inner_paths[mig_id] = inner
+                    top_spans = [
+                        {
+                            "name": c.name,
+                            "duration_ns": c.duration_ns,
+                            "share_pct": round(c.share_pct, 4),
+                        }
+                        for c in inner.contributions[:5]
+                    ]
 
         # ------------------------------------------------------- SLO + sketch
         downtime = total = None
@@ -371,24 +625,31 @@ class FleetRunner:
             )
         telemetry.bus.finalize()
 
-        return (
-            MigrationRecord(
-                index=index,
-                mig_id=mig_id,
-                seed=seed,
-                status=status,
-                faulted=faulted,
-                start_ns=start,
-                end_ns=end,
-                duration_ns=duration,
-                downtime_ns=downtime,
-                total_ns=total,
-                outcome=outcome,
-                error=error,
-                alerts=alerts,
-            ),
-            traces_doc,
+        record = MigrationRecord(
+            index=index,
+            mig_id=mig_id,
+            seed=seed,
+            status=status,
+            faulted=faulted,
+            start_ns=start,
+            end_ns=end,
+            duration_ns=duration,
+            downtime_ns=downtime,
+            total_ns=total,
+            outcome=outcome,
+            error=error,
+            alerts=alerts,
+            arrival_ns=arrival,
+            source_host=source_host,
+            target_host=target_host,
+            waits=waits,
+            top_spans=top_spans,
         )
+        if self.hosts is not None:
+            # Conservation is a hard invariant: every nanosecond of this
+            # migration's wall time is running or a typed wait.
+            verify_conservation(record.wait_profile())
+        return record, traces_doc
 
     @staticmethod
     def _alert_line(violation: SloViolation) -> str:
@@ -407,16 +668,40 @@ def write_fleet_bench(
     file byte-wise.  ``bench_dir`` defaults to ``$REPRO_BENCH_DIR``;
     returns ``None`` (writing nothing) when neither is set.
     """
+    return _merge_bench(
+        "BENCH_fleet.json", report.config.series_key(), report.bench_payload(), bench_dir
+    )
+
+
+def write_contention_bench(
+    report: FleetReport, bench_dir: str | None = None
+) -> str | None:
+    """Merge this run's contention series into ``BENCH_fleet_contention.json``.
+
+    Only fleet runs with the host model enabled produce a contention
+    series; returns ``None`` otherwise (and when no bench dir is set).
+    """
+    payload = report.contention_payload()
+    if not payload:
+        return None
+    return _merge_bench(
+        "BENCH_fleet_contention.json", report.config.series_key(), payload, bench_dir
+    )
+
+
+def _merge_bench(
+    filename: str, series_key: str, payload: dict[str, float], bench_dir: str | None
+) -> str | None:
     directory = bench_dir or os.environ.get("REPRO_BENCH_DIR")
     if not directory:
         return None
     os.makedirs(directory, exist_ok=True)
-    path = os.path.join(directory, "BENCH_fleet.json")
+    path = os.path.join(directory, filename)
     existing: dict[str, Any] = {}
     if os.path.exists(path):
         with open(path, "r", encoding="utf-8") as fh:
             existing = json.load(fh)
-    existing[report.config.series_key()] = report.bench_payload()
+    existing[series_key] = payload
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(existing, fh, indent=2, sort_keys=True)
         fh.write("\n")

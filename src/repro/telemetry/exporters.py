@@ -343,20 +343,42 @@ def records_from_jsonl(text: str) -> list[Any]:
     ]
 
 
+def _prom_header(lines: list[str], seen: set[str], name: str, source: str,
+                 kind: str) -> None:
+    if name not in seen:
+        seen.add(name)
+        lines.append(f"# HELP {name} {source} ({kind})")
+        lines.append(f"# TYPE {name} {kind}")
+
+
 def to_prometheus(metrics: MetricsRegistry) -> str:
-    """Prometheus text exposition format of the registry's current state."""
+    """Prometheus text exposition format of the registry's current state.
+
+    Every family gets ``# HELP``/``# TYPE`` lines, and gauges and
+    histograms whose names carry the repo-native ``_ns`` suffix also
+    emit a derived ``_seconds`` family (values divided by 1e9) so the
+    exposition parses cleanly under promtool's unit conventions.  The
+    base ``_ns`` series are kept — dashboards and the CI gates key on
+    them — and the derived families are grouped after the base pass so
+    each family's samples stay contiguous.
+    """
     lines: list[str] = []
+    derived: list[str] = []
     seen_types: set[str] = set()
+    derived_seen: set[str] = set()
     # Sort by the canonical series key *string*: total, deterministic,
     # and safe with mixed-type label values (tuple-of-items sorting
     # raises TypeError comparing an int label against a str one).
     for instrument in sorted(metrics, key=lambda i: metric_key(i.name, i.labels)):
         name = _prom_name(instrument.name)
-        if name not in seen_types:
-            seen_types.add(name)
-            lines.append(f"# TYPE {name} {instrument.kind}")
+        _prom_header(lines, seen_types, name, instrument.name, instrument.kind)
+        secs = name[: -len("_ns")] + "_seconds" if name.endswith("_ns") else None
         if isinstance(instrument, (CounterMetric, GaugeMetric)):
-            lines.append(f"{name}{_prom_labels(instrument.labels)} {instrument.value}")
+            labels = _prom_labels(instrument.labels)
+            lines.append(f"{name}{labels} {instrument.value}")
+            if secs and isinstance(instrument, GaugeMetric):
+                _prom_header(derived, derived_seen, secs, instrument.name, "gauge")
+                derived.append(f"{secs}{labels} {instrument.value / 1e9}")
         elif isinstance(instrument, HistogramMetric):
             running = 0
             for bound, count in zip(instrument.buckets, instrument.bucket_counts):
@@ -369,4 +391,22 @@ def to_prometheus(metrics: MetricsRegistry) -> str:
             )
             lines.append(f"{name}_sum{_prom_labels(instrument.labels)} {instrument.sum}")
             lines.append(f"{name}_count{_prom_labels(instrument.labels)} {instrument.count}")
+            if secs:
+                _prom_header(derived, derived_seen, secs, instrument.name, "histogram")
+                running = 0
+                for bound, count in zip(instrument.buckets, instrument.bucket_counts):
+                    running += count
+                    derived.append(
+                        f"{secs}_bucket{_prom_labels(instrument.labels, {'le': bound / 1e9})} {running}"
+                    )
+                derived.append(
+                    f"{secs}_bucket{_prom_labels(instrument.labels, {'le': '+Inf'})} {instrument.count}"
+                )
+                derived.append(
+                    f"{secs}_sum{_prom_labels(instrument.labels)} {instrument.sum / 1e9}"
+                )
+                derived.append(
+                    f"{secs}_count{_prom_labels(instrument.labels)} {instrument.count}"
+                )
+    lines.extend(derived)
     return "\n".join(lines) + ("\n" if lines else "")

@@ -42,13 +42,41 @@ TRIGGER_EVENTS: frozenset[tuple[str, str]] = frozenset(
 _ACTIVE: list["FlightRecorder"] = []
 _DUMP_SEQ = 0
 
+#: Per-run dump-file retention (chaos soaks and fleet SLO storms can
+#: trigger hundreds of dumps; an unbounded dump dir is itself an
+#: incident).  At most ``REPRO_FLIGHT_MAX_DUMPS`` files are kept: the
+#: first ``cap - 1`` chronologically plus the most recent one, with a
+#: running count of everything dropped in between embedded in the
+#: surviving last dump.
+DEFAULT_MAX_DUMP_FILES = 32
+_DUMP_FILES: list[str] = []
+_OVERFLOW_PATH: str | None = None
+_DUMPS_DROPPED = 0
+
+
+def max_dump_files() -> int:
+    raw = os.environ.get("REPRO_FLIGHT_MAX_DUMPS", "")
+    try:
+        value = int(raw) if raw else DEFAULT_MAX_DUMP_FILES
+    except ValueError:
+        value = DEFAULT_MAX_DUMP_FILES
+    return max(2, value)  # first + last is the floor
+
+
+def dumps_dropped() -> int:
+    return _DUMPS_DROPPED
+
 
 def active_recorders() -> list["FlightRecorder"]:
     return list(_ACTIVE)
 
 
 def reset_active() -> None:
+    global _OVERFLOW_PATH, _DUMPS_DROPPED
     _ACTIVE.clear()
+    _DUMP_FILES.clear()
+    _OVERFLOW_PATH = None
+    _DUMPS_DROPPED = 0
 
 
 def redact(value: Any) -> Any:
@@ -172,7 +200,7 @@ class FlightRecorder:
     def _write(self, snapshot: dict[str, Any]) -> str | None:
         if not self.dump_dir:
             return None
-        global _DUMP_SEQ
+        global _DUMP_SEQ, _OVERFLOW_PATH, _DUMPS_DROPPED
         _DUMP_SEQ += 1
         slug = "".join(c if c.isalnum() else "-" for c in snapshot["trigger"])
         # The migration-id namespace keeps concurrent fleet dumps apart;
@@ -182,10 +210,27 @@ class FlightRecorder:
             self.dump_dir,
             f"flight-{self._namespace(snapshot)}-{_DUMP_SEQ:04d}-{slug}.json",
         )
+        overflow = len(_DUMP_FILES) >= max_dump_files() - 1
+        if overflow:
+            # Retention cap reached: this dump takes the rotating "last"
+            # slot, replacing (and counting) the previous occupant, so
+            # the dir always holds the first cap-1 dumps plus the newest.
+            if _OVERFLOW_PATH is not None:
+                _DUMPS_DROPPED += 1
+                try:
+                    os.remove(_OVERFLOW_PATH)
+                except OSError:
+                    pass
+            snapshot = dict(snapshot)
+            snapshot["dumps_dropped"] = _DUMPS_DROPPED
         try:
             os.makedirs(self.dump_dir, exist_ok=True)
             with open(path, "w", encoding="utf-8") as fh:
                 json.dump(snapshot, fh, indent=2, sort_keys=True)
         except OSError:
             return None  # a full disk must never take the run down too
+        if overflow:
+            _OVERFLOW_PATH = path
+        else:
+            _DUMP_FILES.append(path)
         return path

@@ -369,29 +369,39 @@ def merge_records(
     ``offsets_ns`` shifts each stream onto the fleet clock (the fleet
     runner passes each migration's admission time, so records keep their
     within-migration order while interleaving correctly across
-    migrations).  Ties are broken by source then per-stream sequence, so
-    the merge is a deterministic total order.
+    migrations).  Equal virtual timestamps are a *normal* event on the
+    fleet timeline (same-seed migrations admitted at the same instant
+    produce identical shifted clocks), so ties get a total order: by
+    source (the migration id), then by stream position, then by the
+    per-stream sequence.  Without the stream-position key, records from
+    different migrations whose sources compare equal (e.g. both empty)
+    would interleave by their unrelated per-stream seq counters.
+    Streams may be empty — or all of them may be — and merge to the
+    expected (possibly empty) sequence.
     """
     streams = list(streams)
     offsets = list(offsets_ns) if offsets_ns is not None else [0] * len(streams)
     if len(offsets) != len(streams):
         raise ValueError("need exactly one offset per stream")
 
-    def shifted(stream: Iterable[StreamRecord], offset: int) -> Iterator[StreamRecord]:
+    def shifted(
+        stream: Iterable[StreamRecord], offset: int, position: int
+    ) -> Iterator[tuple[tuple, StreamRecord]]:
         for record in stream:
-            yield StreamRecord(
+            moved = StreamRecord(
                 seq=record.seq,
                 t_ns=record.t_ns + offset,
                 kind=record.kind,
                 payload=record.payload,
                 source=record.source,
             )
+            yield (moved.t_ns, moved.source, position, moved.seq), moved
 
     merged = heapq.merge(
-        *(shifted(s, o) for s, o in zip(streams, offsets)),
-        key=StreamRecord.sort_key,
+        *(shifted(s, o, i) for i, (s, o) in enumerate(zip(streams, offsets))),
+        key=lambda pair: pair[0],
     )
-    return merged
+    return (record for _, record in merged)
 
 
 # ----------------------------------------------------------------- rendering

@@ -1,0 +1,235 @@
+"""Wait-state attribution: typed queueing time as first-class blame.
+
+Once migrations share hosts (EPC pages, NIC bandwidth, admission
+slots), a migration's wall time is no longer its running time — it
+queues.  This module makes that queueing *observable* with the same
+machinery the critical-path engine uses for spans and wire transfers:
+
+* a :class:`WaitProfile` decomposes one migration's wall time into
+  ``running`` plus typed ``queued:*`` intervals, with the conservation
+  rule ``wall ≡ running + Σ queued`` enforced as a hard invariant;
+* :func:`wait_segments` renders the queued intervals as critical-path
+  :class:`~repro.telemetry.criticalpath.Segment` values (kind
+  ``"wait"``), so ``"wait/host-03/epc"`` ranks in a contribution table
+  exactly like ``"source/journal.commit"``;
+* :func:`fleet_critical_path` folds those wait segments together with
+  the migration's own critical-path report (shifted onto the fleet
+  clock) into one gapless :class:`CriticalPathReport` over the whole
+  ``[arrival, end)`` interval — 100% of wall time attributed, by
+  construction.
+
+Everything is a pure function of recorded state; nothing here advances
+a clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import InvariantViolation
+from repro.telemetry.criticalpath import Contribution, CriticalPathReport, Segment, _rank
+
+__all__ = [
+    "WAIT_ADMISSION",
+    "WAIT_BANDWIDTH",
+    "WAIT_EPC",
+    "WAIT_KINDS",
+    "WaitProfile",
+    "fleet_critical_path",
+    "verify_conservation",
+    "wait_blame_name",
+    "wait_segments",
+]
+
+#: Typed wait states, in the order queues are traversed: a migration
+#: first waits for an admission slot, then for EPC pages on its target
+#: host, then for a bandwidth grant on both NICs.
+WAIT_ADMISSION = "admission"
+WAIT_EPC = "epc"
+WAIT_BANDWIDTH = "bandwidth"
+WAIT_KINDS = (WAIT_ADMISSION, WAIT_EPC, WAIT_BANDWIDTH)
+
+#: Wait segments use negative uids so they can never collide with a
+#: span id or wire seq inside a folded report.
+_WAIT_UID_BASE = -1000
+
+
+def wait_blame_name(kind: str, host: int | None) -> str:
+    """The blame label for one typed wait (mirrors span unit names)."""
+    if kind == WAIT_ADMISSION or host is None:
+        return f"wait/fleet/{kind}"
+    return f"wait/host-{host:02d}/{kind}"
+
+
+@dataclass(frozen=True)
+class WaitProfile:
+    """One migration's wall-time decomposition on the fleet timeline.
+
+    ``waits`` is ordered: each entry occupies the interval immediately
+    after the previous one, starting at ``arrival_ns``; running time is
+    the remainder ``[start_ns, end_ns)``.
+    """
+
+    mig_id: str
+    arrival_ns: int
+    start_ns: int
+    end_ns: int
+    #: Ordered ``(kind, duration_ns, host)`` entries; ``host`` is None
+    #: for fleet-wide queues (admission).
+    waits: tuple[tuple[str, int, int | None], ...]
+    source_host: int | None = None
+    target_host: int | None = None
+
+    @property
+    def wall_ns(self) -> int:
+        return self.end_ns - self.arrival_ns
+
+    @property
+    def running_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+    @property
+    def queued_ns(self) -> int:
+        return sum(ns for _, ns, _ in self.waits)
+
+    def queued_by_kind(self) -> dict[str, int]:
+        out = {kind: 0 for kind in WAIT_KINDS}
+        for kind, ns, _ in self.waits:
+            out[kind] = out.get(kind, 0) + ns
+        return out
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "mig_id": self.mig_id,
+            "arrival_ns": self.arrival_ns,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "wall_ns": self.wall_ns,
+            "running_ns": self.running_ns,
+            "queued_ns": self.queued_ns,
+            "waits": {
+                wait_blame_name(kind, host): ns
+                for kind, ns, host in self.waits
+                if ns > 0
+            },
+            "source_host": self.source_host,
+            "target_host": self.target_host,
+        }
+
+
+def verify_conservation(profile: WaitProfile) -> None:
+    """Hard invariant: wall time ≡ running + Σ typed waits, gapless.
+
+    The decomposition is constructed to satisfy this; a violation means
+    the host model granted a start time that is not the sum of its own
+    queue delays — a scheduling bug worth stopping the run for.
+    """
+    if profile.arrival_ns + profile.queued_ns != profile.start_ns:
+        raise InvariantViolation(
+            f"{profile.mig_id}: typed waits sum to {profile.queued_ns}ns but the "
+            f"admission gap is {profile.start_ns - profile.arrival_ns}ns"
+        )
+    if profile.wall_ns != profile.running_ns + profile.queued_ns:
+        raise InvariantViolation(
+            f"{profile.mig_id}: wall {profile.wall_ns}ns != running "
+            f"{profile.running_ns}ns + queued {profile.queued_ns}ns"
+        )
+
+
+def wait_segments(profile: WaitProfile) -> list[Segment]:
+    """The queued intervals as critical-path segments (kind ``"wait"``).
+
+    Zero-duration waits are skipped; the segments tile
+    ``[arrival_ns, start_ns)`` exactly in queue-traversal order.
+    """
+    segments: list[Segment] = []
+    cursor = profile.arrival_ns
+    for offset, (kind, ns, host) in enumerate(profile.waits):
+        if ns <= 0:
+            continue
+        segments.append(
+            Segment(
+                start_ns=cursor,
+                end_ns=cursor + ns,
+                blame=wait_blame_name(kind, host),
+                kind="wait",
+                uid=_WAIT_UID_BASE - offset,
+            )
+        )
+        cursor += ns
+    return segments
+
+
+def fleet_critical_path(
+    profile: WaitProfile,
+    inner: CriticalPathReport | None = None,
+) -> CriticalPathReport:
+    """Fold typed waits and the migration's own critical path together.
+
+    The anchor interval is the migration's full ``[arrival, end)`` wall
+    time on the *fleet* clock.  Queued time becomes wait segments;
+    running time is the ``inner`` report's segments shifted onto the
+    fleet clock (same machinery ``repro explain`` uses, so
+    ``blames("wait/host-03/epc")`` and ``blames("journal.commit")``
+    answer through one API), with the local time outside the inner
+    anchor — enclave setup before ``migration.run`` starts, teardown
+    after it ends — tiled by explicit ``setup``/``teardown`` segments.
+    Without an inner report the whole running interval blames the
+    anchor.  Either way the result is gapless: attributed_ns equals
+    wall_ns by construction.
+
+    ``inner`` timestamps are on the migration's *local* virtual clock,
+    whose zero maps to ``profile.start_ns`` on the fleet clock.
+    """
+    verify_conservation(profile)
+    segments = wait_segments(profile)
+    names: list[str] = [s.blame for s in segments]
+    if inner is not None and profile.running_ns > 0:
+        shift = profile.start_ns
+        inner_start = min(max(inner.start_ns + shift, profile.start_ns), profile.end_ns)
+        inner_end = min(max(inner.end_ns + shift, inner_start), profile.end_ns)
+        if inner_start > profile.start_ns:
+            blame = f"{profile.mig_id}/setup"
+            segments.append(
+                Segment(profile.start_ns, inner_start, blame, "span",
+                        _WAIT_UID_BASE - len(WAIT_KINDS) - 1)
+            )
+            names.append(blame)
+        for seg in inner.segments:
+            start = min(max(seg.start_ns + shift, inner_start), inner_end)
+            end = min(max(seg.end_ns + shift, inner_start), inner_end)
+            if end <= start:
+                continue
+            segments.append(Segment(start, end, seg.blame, seg.kind, seg.uid))
+        if inner_end < profile.end_ns:
+            blame = f"{profile.mig_id}/teardown"
+            segments.append(
+                Segment(inner_end, profile.end_ns, blame, "span",
+                        _WAIT_UID_BASE - len(WAIT_KINDS) - 2)
+            )
+            names.append(blame)
+        for name in inner.blame_path_names:
+            if name not in names:
+                names.append(name)
+    elif profile.running_ns > 0:
+        blame = f"{profile.mig_id}/migration.run"
+        segments.append(
+            Segment(
+                start_ns=profile.start_ns,
+                end_ns=profile.end_ns,
+                blame=blame,
+                kind="span",
+                uid=_WAIT_UID_BASE - len(WAIT_KINDS),
+            )
+        )
+        names.append(blame)
+    contributions: list[Contribution] = _rank(segments, profile.wall_ns)
+    return CriticalPathReport(
+        anchor=f"fleet.migration/{profile.mig_id}",
+        start_ns=profile.arrival_ns,
+        end_ns=profile.end_ns,
+        segments=segments,
+        contributions=contributions,
+        blame_path_names=names,
+    )

@@ -1,0 +1,88 @@
+"""Straggler detection and contention blame on oversubscribed fleets."""
+
+from repro.fleet import FleetConfig, FleetRunner, blame_report
+
+
+def _contended_report(**overrides):
+    config = dict(n=10, seeds=(1, 2), max_inflight=8, hosts=2)
+    config.update(overrides)
+    return FleetRunner(FleetConfig(**config)).run()
+
+
+class TestDetection:
+    def test_oversubscribed_fleet_produces_stragglers(self):
+        report = _contended_report()
+        blame = blame_report(report)
+        assert blame.stragglers, "a queued fleet must have tail outliers"
+        # Ranked by excess, worst first.
+        excesses = [s.excess_ns for s in blame.stragglers]
+        assert excesses == sorted(excesses, reverse=True)
+
+    def test_uncontended_fleet_has_no_stragglers(self):
+        report = _contended_report(
+            n=4, hosts=4, epc_per_host=1024, bw_per_host=1024 * 1024 * 1024
+        )
+        blame = blame_report(report)
+        assert not blame.stragglers
+        assert "evenly paced" in blame.render_text()
+
+    def test_attribution_covers_at_least_95_pct_of_excess(self):
+        # The acceptance bar: every straggler's excess wall time lands
+        # on typed wait states or its own critical-path spans.
+        report = _contended_report()
+        blame = blame_report(report)
+        assert blame.min_attributed_pct >= 95.0
+        for straggler in blame.stragglers:
+            assert straggler.attributed_pct >= 95.0
+            assert straggler.causes, "every straggler gets ranked causes"
+
+
+class TestCauses:
+    def test_causes_are_typed_waits_or_spans(self):
+        report = _contended_report()
+        blame = blame_report(report)
+        for straggler in blame.stragglers:
+            for cause in straggler.causes:
+                assert cause.kind in ("wait", "span")
+                if cause.kind == "wait":
+                    assert cause.name.startswith("wait/")
+
+    def test_cause_shares_sum_to_100_pct(self):
+        report = _contended_report()
+        blame = blame_report(report)
+        for straggler in blame.stragglers:
+            total = sum(c.share_pct for c in straggler.causes)
+            assert 99.0 <= total <= 100.5  # integer-division slack only
+
+    def test_folded_critical_path_blames_waits_like_spans(self):
+        report = _contended_report()
+        blame = blame_report(report)
+        worst = blame.stragglers[0]
+        path = worst.critical_path
+        assert path is not None
+        assert path.attributed_ns == path.total_ns == worst.wall_ns
+        assert any(path.blames(c.name) for c in worst.causes if c.kind == "wait")
+        # The migration's own protocol spans are in the same report.
+        assert path.blames("migration.run") or path.blames("migration.step")
+
+    def test_queue_totals_rank_the_busiest_queues(self):
+        report = _contended_report()
+        blame = blame_report(report)
+        totals = blame.queue_totals
+        assert totals
+        values = [ns for _, ns in totals]
+        assert values == sorted(values, reverse=True)
+        assert sum(values) == report.total_queued_ns
+
+
+class TestDeterminism:
+    def test_blame_report_is_byte_identical_across_runs(self):
+        texts = []
+        jsons = []
+        for _ in range(2):
+            report = _contended_report(n=6)
+            blame = blame_report(report)
+            texts.append(blame.render_text())
+            jsons.append(blame.as_dict())
+        assert texts[0] == texts[1]
+        assert jsons[0] == jsons[1]

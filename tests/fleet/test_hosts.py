@@ -1,0 +1,158 @@
+"""Per-host resource model: typed queues, conservation, capacity."""
+
+import pytest
+
+from repro.errors import InvariantViolation
+from repro.fleet.hosts import Admission, HostModel, HostSpec
+from repro.telemetry.waitstate import (
+    WAIT_ADMISSION,
+    WAIT_BANDWIDTH,
+    WAIT_EPC,
+    verify_conservation,
+)
+
+MB = 1024 * 1024
+
+
+def _admit(model, index, duration=100, bytes_moved=8192, slot_free=0, arrival=0):
+    return model.admit(
+        index,
+        arrival_ns=arrival,
+        slot_free_ns=slot_free,
+        duration_ns=duration,
+        bytes_moved=bytes_moved,
+    )
+
+
+class TestSpec:
+    def test_spec_validates(self):
+        with pytest.raises(ValueError):
+            HostSpec(0)
+        with pytest.raises(ValueError):
+            HostSpec(2, epc_pages=0)
+        with pytest.raises(ValueError):
+            HostSpec(2, bw_bytes_per_sec=0)
+
+    def test_placement_is_round_robin(self):
+        model = HostModel(HostSpec(3))
+        assert model.place(0) == (0, 1)
+        assert model.place(2) == (2, 0)
+        assert model.place(3) == (0, 1)
+
+
+class TestAdmission:
+    def test_uncontended_migration_starts_immediately(self):
+        model = HostModel(HostSpec(2, epc_pages=64, bw_bytes_per_sec=100 * MB))
+        adm = _admit(model, 0)
+        assert adm.start_ns == 0
+        assert adm.queued_ns == 0
+        assert all(ns == 0 for _, ns, _ in adm.waits)
+
+    def test_epc_oversubscription_queues_typed(self):
+        # 2 pages per host; each migration needs 2 → strict serialization
+        # on the shared target host.
+        model = HostModel(HostSpec(1, epc_pages=2, bw_bytes_per_sec=100 * MB))
+        a = _admit(model, 0, duration=100, bytes_moved=2 * 4096)
+        b = _admit(model, 1, duration=100, bytes_moved=2 * 4096)
+        assert a.start_ns == 0
+        assert b.start_ns == 100  # waits for a's pages to free
+        waits = dict((k, ns) for k, ns, _ in b.waits)
+        assert waits[WAIT_EPC] == 100
+        assert waits[WAIT_ADMISSION] == 0
+        assert waits[WAIT_BANDWIDTH] == 0
+
+    def test_bandwidth_oversubscription_queues_typed(self):
+        # Plenty of EPC, but the NIC carries one stream at a time:
+        # 8192 bytes over 100ns → rate far above 1 MB/s cap → clamped to
+        # capacity, so two streams cannot overlap.
+        model = HostModel(HostSpec(1, epc_pages=64, bw_bytes_per_sec=1 * MB))
+        a = _admit(model, 0)
+        b = _admit(model, 1)
+        assert b.start_ns == 100
+        waits = dict((k, ns) for k, ns, _ in b.waits)
+        assert waits[WAIT_BANDWIDTH] == 100
+        assert waits[WAIT_EPC] == 0
+
+    def test_slot_wait_is_admission_typed(self):
+        model = HostModel(HostSpec(2, epc_pages=64, bw_bytes_per_sec=100 * MB))
+        adm = _admit(model, 0, slot_free=40)
+        assert adm.start_ns == 40
+        waits = dict((k, ns) for k, ns, _ in adm.waits)
+        assert waits[WAIT_ADMISSION] == 40
+
+    def test_start_is_arrival_plus_typed_waits(self):
+        # Conservation by construction, across a mixed contention pile.
+        model = HostModel(HostSpec(2, epc_pages=4, bw_bytes_per_sec=1 * MB))
+        for i in range(8):
+            adm = _admit(model, i, duration=50 + i, bytes_moved=3 * 4096,
+                         slot_free=5 * i)
+            assert adm.start_ns == 0 + adm.queued_ns
+            profile = model.profile(f"mig{i}", adm, arrival_ns=0)
+            verify_conservation(profile)  # raises on any gap
+
+    def test_demand_is_clamped_to_capacity(self):
+        # A migration needing more pages than any host owns still runs —
+        # alone — instead of deadlocking.
+        model = HostModel(HostSpec(1, epc_pages=4, bw_bytes_per_sec=1 * MB))
+        adm = _admit(model, 0, bytes_moved=100 * 4096)
+        assert adm.epc_pages == 4
+        assert adm.start_ns == 0
+
+    def test_admissions_are_recorded(self):
+        model = HostModel(HostSpec(2))
+        _admit(model, 0)
+        _admit(model, 1)
+        assert [a.index for a in model.admissions] == [0, 1]
+        assert all(isinstance(a, Admission) for a in model.admissions)
+
+
+class TestUtilization:
+    def test_peak_and_mean_usage(self):
+        second = 1_000_000_000
+        model = HostModel(HostSpec(1, epc_pages=8, bw_bytes_per_sec=100 * MB))
+        # 2 pages each over 1s → ~8 KB/s streams: far under the NIC, so
+        # the two migrations overlap and only EPC stacks up.
+        _admit(model, 0, duration=second, bytes_moved=2 * 4096)
+        _admit(model, 1, duration=second, bytes_moved=2 * 4096)
+        utils = {u.resource: u for u in model.utilization(2 * second)}
+        epc = utils["epc"]
+        assert epc.peak == 4
+        # 4 pages busy for 1s of a 2s window → mean 2 pages.
+        assert epc.mean == pytest.approx(2.0)
+        assert epc.peak_pct == pytest.approx(50.0)
+
+    def test_capacity_invariant_holds_after_runs(self):
+        model = HostModel(HostSpec(2, epc_pages=4, bw_bytes_per_sec=1 * MB))
+        for i in range(6):
+            _admit(model, i, duration=100, bytes_moved=3 * 4096)
+        end = max(a.end_ns for a in model.admissions)
+        model.check_capacity(end)  # must not raise
+
+    def test_capacity_breach_raises(self):
+        model = HostModel(HostSpec(1, epc_pages=4))
+        # Forge an impossible reservation behind the scheduler's back.
+        model._epc[0].reserve(0, 100, 10)
+        with pytest.raises(InvariantViolation, match="exceeds capacity"):
+            model.check_capacity(100)
+
+
+class TestHeatmap:
+    def test_heatmap_is_deterministic_text(self):
+        def build():
+            model = HostModel(HostSpec(2, epc_pages=4, bw_bytes_per_sec=1 * MB))
+            for i in range(5):
+                _admit(model, i, duration=100, bytes_moved=2 * 4096)
+            return model.heatmap(max(a.end_ns for a in model.admissions))
+
+        first, second = build(), build()
+        assert first == second
+        lines = first.splitlines()
+        assert len(lines) == 1 + 2 * 2  # header + hosts x resources
+        assert "host-00 epc" in first and "host-01 bandwidth" in first
+
+    def test_idle_fleet_renders_blank_cells(self):
+        model = HostModel(HostSpec(1))
+        text = model.heatmap(1000)
+        row = text.splitlines()[1]
+        cells = row.split("|")[1]
+        assert set(cells) == {" "}

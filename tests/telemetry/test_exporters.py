@@ -128,3 +128,68 @@ class TestDeterminism:
             to_chrome_trace(b.telemetry), sort_keys=True
         )
         assert to_prometheus(a.trace.metrics) == to_prometheus(b.trace.metrics)
+
+
+class TestPromtoolParse:
+    """A promtool-style lint of the exposition format: every sample has
+    a preceding ``# HELP``/``# TYPE`` for its family, families are
+    contiguous, and ``_ns`` series carry derived unit-suffixed
+    ``_seconds`` twins."""
+
+    @staticmethod
+    def _lint(text):
+        helped, typed, families_seen = set(), set(), []
+        current = None
+        for line in text.splitlines():
+            if not line:
+                continue
+            if line.startswith("# HELP "):
+                helped.add(line.split()[2])
+                continue
+            if line.startswith("# TYPE "):
+                _, _, name, kind = line.split()
+                assert kind in ("counter", "gauge", "histogram"), line
+                typed.add(name)
+                continue
+            assert not line.startswith("#"), f"unknown comment: {line}"
+            name = line.split("{")[0].split(" ")[0]
+            family = name
+            for suffix in ("_bucket", "_sum", "_count"):
+                if family.endswith(suffix) and family[: -len(suffix)] in typed:
+                    family = family[: -len(suffix)]
+                    break
+            assert family in typed, f"sample before # TYPE: {line}"
+            assert family in helped, f"sample before # HELP: {line}"
+            if family != current:
+                assert family not in families_seen, f"family split: {family}"
+                families_seen.append(family)
+                current = family
+            float(line.rsplit(" ", 1)[1])  # value must parse
+        return families_seen
+
+    def test_seeded_exposition_passes_lint(self, tb):
+        self._lint(to_prometheus(tb.trace.metrics))
+
+    def test_ns_series_get_unit_suffixed_seconds_twins(self):
+        reg = MetricsRegistry()
+        reg.gauge("migration.downtime_ns").set(2_500_000_000)
+        reg.counter("wire.total_bytes", channel="tls").inc(4096)
+        h = reg.histogram("queue.wait_ns", buckets=(1_000_000_000,))
+        h.observe(500_000_000)
+        text = to_prometheus(reg)
+        families = self._lint(text)
+        assert "migration_downtime_seconds" in families
+        assert "queue_wait_seconds" in families
+        assert "migration_downtime_seconds 2.5" in text
+        # Bucket bounds convert with the values.
+        assert 'queue_wait_seconds_bucket{le="1.0"} 1' in text
+        assert "queue_wait_seconds_sum 0.5" in text
+        # _bytes names are already unit-suffixed: no twin, no rename.
+        assert "wire_total_bytes" in families
+        assert "wire_total_bytes_seconds" not in text
+
+    def test_derived_families_do_not_shadow_base_series(self, tb):
+        text = to_prometheus(tb.trace.metrics)
+        downtime = tb.trace.metrics.value("migration.downtime_ns")
+        assert f"migration_downtime_ns {downtime}" in text
+        assert f"migration_downtime_seconds {downtime / 1e9}" in text

@@ -161,3 +161,65 @@ class TestNamespacing:
         assert files
         assert all("/" not in name[len("flight-"):] for name in files)
         assert files[0].startswith("flight-mig-00-one-two-")
+
+
+class TestRetentionCap:
+    """Per-run dump-file cap: keep first + last, count the dropped."""
+
+    def test_cap_keeps_first_files_and_rotating_last(self, tmp_path, monkeypatch):
+        from repro.telemetry.flightrecorder import dumps_dropped
+
+        monkeypatch.setenv("REPRO_FLIGHT_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_FLIGHT_MAX_DUMPS", "4")
+        tb = build_testbed(seed=901)
+        recorder = FlightRecorder(tb.telemetry, namespace="capped")
+        for i in range(10):
+            recorder.dump(trigger=f"storm{i}")
+        files = sorted(tmp_path.glob("flight-capped-*.json"))
+        assert len(files) == 4  # first cap-1 chronologically + the newest
+        triggers = [json.load(open(p))["trigger"] for p in files]
+        assert triggers[:3] == ["storm0", "storm1", "storm2"]
+        assert triggers[-1] == "storm9"
+        # Six dumps (storm3..storm8) were rotated out of the last slot.
+        assert dumps_dropped() == 6
+        assert json.load(open(files[-1]))["dumps_dropped"] == 6
+
+    def test_under_cap_writes_every_dump(self, tmp_path, monkeypatch):
+        from repro.telemetry.flightrecorder import dumps_dropped
+
+        monkeypatch.setenv("REPRO_FLIGHT_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_FLIGHT_MAX_DUMPS", "8")
+        tb = build_testbed(seed=902)
+        recorder = FlightRecorder(tb.telemetry, namespace="calm")
+        for i in range(3):
+            recorder.dump(trigger=f"calm{i}")
+        files = sorted(tmp_path.glob("flight-calm-*.json"))
+        assert len(files) == 3
+        assert dumps_dropped() == 0
+        assert all("dumps_dropped" not in json.load(open(p)) for p in files)
+
+    def test_cap_is_shared_across_recorders(self, tmp_path, monkeypatch):
+        # A fleet SLO storm spans many namespaced recorders; the cap is
+        # per run (process), not per recorder.
+        monkeypatch.setenv("REPRO_FLIGHT_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_FLIGHT_MAX_DUMPS", "3")
+        tb = build_testbed(seed=903)
+        recorders = [
+            FlightRecorder(tb.telemetry, namespace=f"mig{i:02d}") for i in range(5)
+        ]
+        for recorder in recorders:
+            recorder.dump(trigger="slo-violation")
+        assert len(list(tmp_path.glob("flight-*.json"))) == 3
+
+    def test_default_and_bad_values(self, monkeypatch):
+        from repro.telemetry.flightrecorder import (
+            DEFAULT_MAX_DUMP_FILES,
+            max_dump_files,
+        )
+
+        monkeypatch.delenv("REPRO_FLIGHT_MAX_DUMPS", raising=False)
+        assert max_dump_files() == DEFAULT_MAX_DUMP_FILES == 32
+        monkeypatch.setenv("REPRO_FLIGHT_MAX_DUMPS", "not-a-number")
+        assert max_dump_files() == 32
+        monkeypatch.setenv("REPRO_FLIGHT_MAX_DUMPS", "0")
+        assert max_dump_files() == 2  # first + last is the floor

@@ -222,3 +222,36 @@ class TestDefaultObjectives:
         # The run delta arrived through the bus as a metric record.
         assert engine._windows["downtime-budget"]
         assert engine.active_alerts() == []
+
+
+class TestGenerationBoundary:
+    def test_stale_generation_delta_cannot_refire_cleared_alert(self):
+        """A run scope that straddles a registry reset is tainted: its
+        delta never reaches the bus, so a cleared alert stays cleared
+        even when the stale scope saw a budget-burning gauge."""
+        engine = _engine()
+        tb = build_testbed(seed=44)
+        telemetry = tb.telemetry
+        bus = telemetry.ensure_bus()
+        engine.attach(bus, capacity=4)
+        # Fire once, clear once — the hysteresis baseline.
+        engine.ingest_run(S, {"migration.downtime_ns": 99 * MS})
+        for i in range(2, 9):
+            engine.ingest_run(i * S, {"migration.downtime_ns": 1 * MS})
+        state = engine._state("downtime", "only")
+        assert (state.fired_total, state.cleared_total) == (1, 1)
+        assert engine.active_alerts() == []
+        windows_before = len(engine._windows["downtime"])
+        # A scope opened before a reset closes across a generation
+        # change: the violating gauge inside it must be discarded.
+        telemetry.begin_run("stale-run")
+        telemetry.metrics.gauge("migration.downtime_ns").set(99 * MS)
+        telemetry.metrics.reset()  # generation bump mid-scope
+        assert telemetry.end_run("stale-run") is None
+        bus.finalize()
+        # No metric record was published, the window is untouched, and
+        # the alert did not re-fire.
+        assert "stale-run" not in telemetry.run_metrics
+        assert len(engine._windows["downtime"]) == windows_before
+        assert engine.active_alerts() == []
+        assert (state.fired_total, state.cleared_total) == (1, 1)

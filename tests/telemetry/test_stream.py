@@ -177,3 +177,32 @@ class TestMerge:
         b = [StreamRecord(seq=1, t_ns=10, kind="event", payload={}, source="migA")]
         merged = list(merge_records([a, b]))
         assert [r.source for r in merged] == ["migA", "migB"]
+
+    def test_merge_tie_break_is_stable_by_id_then_seq(self):
+        # Same timestamp everywhere: order must fall back to migration
+        # id (source), then seq — never input-stream position.
+        a = [
+            StreamRecord(seq=2, t_ns=10, kind="event", payload={}, source="migB"),
+            StreamRecord(seq=7, t_ns=10, kind="event", payload={}, source="migB"),
+        ]
+        b = [
+            StreamRecord(seq=1, t_ns=10, kind="event", payload={}, source="migA"),
+            StreamRecord(seq=5, t_ns=10, kind="event", payload={}, source="migA"),
+        ]
+        forward = list(merge_records([a, b]))
+        reversed_inputs = list(merge_records([b, a]))
+        key = [(r.source, r.seq) for r in forward]
+        assert key == [("migA", 1), ("migA", 5), ("migB", 2), ("migB", 7)]
+        assert key == [(r.source, r.seq) for r in reversed_inputs]
+
+    def test_merge_with_an_empty_stream(self):
+        a = [
+            StreamRecord(seq=1, t_ns=10, kind="event", payload={}, source="migA"),
+            StreamRecord(seq=2, t_ns=30, kind="event", payload={}, source="migA"),
+        ]
+        merged = list(merge_records([a, [], []], offsets_ns=[0, 5, 9]))
+        assert [(r.source, r.t_ns) for r in merged] == [("migA", 10), ("migA", 30)]
+
+    def test_merge_of_all_empty_streams_is_empty(self):
+        assert list(merge_records([[], [], []])) == []
+        assert list(merge_records([])) == []

@@ -1,0 +1,137 @@
+"""Wait-state attribution: conservation, segments, the fleet fold."""
+
+import pytest
+
+from repro.errors import InvariantViolation
+from repro.migration.orchestrator import MigrationOrchestrator
+from repro.migration.testbed import build_testbed
+from repro.telemetry.criticalpath import ANCHOR_TOTAL, critical_path
+from repro.telemetry.waitstate import (
+    WAIT_ADMISSION,
+    WAIT_BANDWIDTH,
+    WAIT_EPC,
+    WaitProfile,
+    fleet_critical_path,
+    verify_conservation,
+    wait_blame_name,
+    wait_segments,
+)
+
+from tests.conftest import build_counter_app
+
+
+def _profile(arrival=0, start=300, end=1000, waits=None, **kw):
+    return WaitProfile(
+        mig_id="mig0000-s1",
+        arrival_ns=arrival,
+        start_ns=start,
+        end_ns=end,
+        waits=waits
+        if waits is not None
+        else (
+            (WAIT_ADMISSION, 100, None),
+            (WAIT_EPC, 150, 3),
+            (WAIT_BANDWIDTH, 50, 3),
+        ),
+        **kw,
+    )
+
+
+class TestConservation:
+    def test_wall_is_running_plus_queued(self):
+        p = _profile()
+        assert p.wall_ns == 1000
+        assert p.running_ns == 700
+        assert p.queued_ns == 300
+        verify_conservation(p)  # exact: no gap, no overlap
+
+    def test_gap_between_waits_and_start_raises(self):
+        p = _profile(start=400)  # waits only cover 300ns
+        with pytest.raises(InvariantViolation, match="admission gap"):
+            verify_conservation(p)
+
+    def test_queued_by_kind_sums_duplicates(self):
+        p = _profile(
+            start=250,
+            waits=((WAIT_EPC, 100, 1), (WAIT_EPC, 150, 2)),
+        )
+        assert p.queued_by_kind()[WAIT_EPC] == 250
+
+
+class TestSegments:
+    def test_segments_tile_the_queued_interval_in_order(self):
+        segs = wait_segments(_profile())
+        assert [(s.start_ns, s.end_ns) for s in segs] == [
+            (0, 100), (100, 250), (250, 300)
+        ]
+        assert [s.blame for s in segs] == [
+            "wait/fleet/admission", "wait/host-03/epc", "wait/host-03/bandwidth"
+        ]
+        assert all(s.kind == "wait" for s in segs)
+
+    def test_zero_waits_are_skipped(self):
+        segs = wait_segments(
+            _profile(start=100, waits=((WAIT_ADMISSION, 100, None),
+                                       (WAIT_EPC, 0, 2),
+                                       (WAIT_BANDWIDTH, 0, 2)))
+        )
+        assert len(segs) == 1
+
+    def test_blame_names_mirror_span_units(self):
+        assert wait_blame_name(WAIT_EPC, 3) == "wait/host-03/epc"
+        assert wait_blame_name(WAIT_ADMISSION, None) == "wait/fleet/admission"
+
+
+class TestFleetFold:
+    def test_fold_without_inner_is_gapless(self):
+        report = fleet_critical_path(_profile())
+        assert report.total_ns == 1000
+        assert report.attributed_ns == 1000  # 100% by construction
+        assert report.blames("wait/host-03/epc")
+        assert report.blames("migration.run")
+        # Segments partition [arrival, end) with no holes.
+        cursor = 0
+        for seg in report.segments:
+            assert seg.start_ns == cursor
+            cursor = seg.end_ns
+        assert cursor == 1000
+
+    def test_fold_with_real_critical_path(self):
+        # Run a real migration, fold its explain-grade critical path
+        # behind synthetic queueing: wait blame and span blame rank in
+        # the same contribution table.
+        tb = build_testbed(seed=77)
+        app = build_counter_app(tb, tag="waitfold")
+        MigrationOrchestrator(tb).migrate_enclave(app)
+        inner = critical_path(tb.telemetry, tb.network, ANCHOR_TOTAL)
+        duration = tb.clock.now_ns
+        profile = WaitProfile(
+            mig_id="mig0000-s77",
+            arrival_ns=0,
+            start_ns=500_000,
+            end_ns=500_000 + duration,
+            waits=((WAIT_ADMISSION, 0, None), (WAIT_EPC, 500_000, 1),
+                   (WAIT_BANDWIDTH, 0, 1)),
+            target_host=1,
+        )
+        report = fleet_critical_path(profile, inner)
+        assert report.attributed_ns == report.total_ns == profile.wall_ns
+        assert report.blames("wait/host-01/epc")
+        # The migration's own spans survive the fold, shifted intact.
+        assert report.blames("journal.commit") or report.blames("migration.step")
+        names = {c.name for c in report.contributions}
+        assert "wait/host-01/epc" in names
+        # Setup before migration.run is tiled, never silently dropped.
+        assert any(n.endswith("/setup") for n in names)
+
+    def test_queue_only_profile_attributes_everything_to_waits(self):
+        p = _profile(start=1000, end=1000,
+                     waits=((WAIT_ADMISSION, 400, None), (WAIT_EPC, 600, 0),
+                            (WAIT_BANDWIDTH, 0, 0)))
+        report = fleet_critical_path(p)
+        assert report.attributed_ns == 1000
+        assert {s.kind for s in report.segments} == {"wait"}
+
+    def test_fold_rejects_nonconserving_profile(self):
+        with pytest.raises(InvariantViolation):
+            fleet_critical_path(_profile(start=999))

@@ -373,6 +373,70 @@ class TestFleetCli:
         with pytest.raises(SystemExit):
             main(["fleet", "--n", "0"])
 
+
+class TestFleetContentionCli:
+    def test_hosts_flag_surfaces_queueing_in_console(self, capsys):
+        assert main(
+            ["fleet", "--n", "6", "--seeds", "1", "--hosts", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "queued: total " in out
+        assert "host-00 epc" in out  # the utilization heatmap rides along
+
+    def test_heatmap_and_contention_bench_artifacts(self, tmp_path, capsys):
+        heat_path = tmp_path / "heatmap.txt"
+        bench_dir = tmp_path / "bench"
+        assert main(
+            [
+                "fleet", "--n", "6", "--seeds", "1", "--hosts", "2",
+                "--heatmap-out", str(heat_path),
+                "--bench-dir", str(bench_dir),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert "host-00 epc" in heat_path.read_text()
+        with open(bench_dir / "BENCH_fleet_contention.json", encoding="utf-8") as fh:
+            bench = json.load(fh)
+        series = bench["n6_seeds1_inflight8_hosts2_epc32_bw1048576"]
+        assert series["queueing_p99_ns"] > 0
+        assert 0 < series["epc_util_pct"] <= 100
+
+    def test_blame_action_ranks_stragglers(self, capsys):
+        assert main(
+            ["fleet", "blame", "--n", "8", "--seeds", "1", "--hosts", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "straggler" in out
+        assert "wait/" in out
+
+    def test_blame_json_is_deterministic(self, capsys, tmp_path):
+        blame_path = tmp_path / "blame.json"
+        argv = [
+            "fleet", "blame", "--n", "8", "--seeds", "1", "--hosts", "2",
+            "--json", "--blame-out", str(blame_path),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        first = blame_path.read_text()
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert blame_path.read_text() == first
+        payload = json.loads(first)
+        assert payload["stragglers"]
+        for straggler in payload["stragglers"]:
+            assert straggler["attributed_pct"] >= 95.0
+
+    def test_blame_without_hosts_defaults_to_four(self, capsys):
+        assert main(["fleet", "blame", "--n", "4", "--seeds", "1"]) == 0
+        # host-03 only exists when the implicit 4-host model kicked in.
+        assert "host-03" in capsys.readouterr().out
+
+    def test_no_hosts_keeps_legacy_output(self, capsys):
+        assert main(["fleet", "--n", "2", "--seeds", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "hosts" not in payload
+        assert "queued_ns" not in payload["records"][0]
+
     def test_trace_otlp_format(self, capsys):
         assert main(["trace", "--format", "otlp", "--seed", "7"]) == 0
         doc = json.loads(capsys.readouterr().out)
